@@ -1,0 +1,67 @@
+// Command explain is the paper's practitioner guidance as an
+// interactive tool: for one convolution configuration it prints which
+// engine the Auto dispatcher selects and why, then profiles every
+// implementation and decomposes each one's dominant kernel — occupancy
+// limiter, compute-vs-memory bound, sustained throughput, and the
+// advisory notes matching the paper's Section V summaries.
+//
+// Usage:
+//
+//	explain [-b 64] [-i 128] [-c 3] [-f 64] [-k 11] [-s 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gpucnn/internal/conv"
+	"gpucnn/internal/gpusim"
+	"gpucnn/internal/impls"
+)
+
+func main() {
+	b := flag.Int("b", 64, "mini-batch size")
+	i := flag.Int("i", 128, "input extent")
+	c := flag.Int("c", 3, "input channels")
+	f := flag.Int("f", 64, "filter count")
+	k := flag.Int("k", 11, "kernel extent")
+	s := flag.Int("s", 1, "stride")
+	flag.Parse()
+
+	cfg := conv.Config{Batch: *b, Input: *i, Channels: *c, Filters: *f, Kernel: *k, Stride: *s}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	auto := impls.NewAuto(0).(interface {
+		Pick(conv.Config) (impls.Engine, string)
+	})
+	pick, reason := auto.Pick(cfg)
+	fmt.Printf("configuration %v (channels %d)\n", cfg, cfg.Channels)
+	fmt.Printf("recommended engine: %s — %s\n\n", pick.Name(), reason)
+
+	spec := gpusim.TeslaK40c()
+	for _, e := range impls.All() {
+		if err := e.Supports(cfg); err != nil {
+			fmt.Printf("%s: shape unsupported (%v)\n\n", e.Name(), err)
+			continue
+		}
+		dev := gpusim.New(spec)
+		plan, err := e.Plan(dev, cfg)
+		if err != nil {
+			fmt.Printf("%s: %v\n\n", e.Name(), err)
+			continue
+		}
+		if err := plan.Iteration(); err != nil {
+			fmt.Printf("%s: %v\n\n", e.Name(), err)
+			plan.Release()
+			continue
+		}
+		top := dev.Prof.TopKernels(1)
+		fmt.Printf("%s — iteration %v, dominant kernel %s (%s-bound, intensity %.1f flops/B)\n",
+			e.Name(), dev.Elapsed().Round(1000), top[0].Name,
+			top[0].Bound(spec), top[0].ArithmeticIntensity())
+		plan.Release()
+	}
+}

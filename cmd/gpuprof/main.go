@@ -1,0 +1,37 @@
+// Command gpuprof reproduces the paper's Figure 6 and Tables I–II: the
+// nvprof-style metric profile (runtime, achieved occupancy, IPC, warp
+// execution efficiency, global load/store efficiency, shared-memory
+// efficiency) of every implementation over the five Table I
+// benchmarking configurations, weighted over each implementation's top
+// kernels, plus the per-implementation register / shared-memory usage.
+//
+// Usage:
+//
+//	gpuprof [-table2]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"gpucnn/internal/bench"
+	"gpucnn/internal/workload"
+)
+
+func main() {
+	table2Only := flag.Bool("table2", false, "print only Table II (resource usage)")
+	flag.Parse()
+
+	if !*table2Only {
+		fmt.Println("Table I — convolution configurations for benchmarking")
+		for _, nc := range workload.TableI() {
+			fmt.Printf("  %s %v (channels %d)\n", nc.Name, nc.Cfg, nc.Cfg.Channels)
+		}
+		fmt.Println()
+		fmt.Println("Figure 6 — GPU performance profiling (weighted over top kernels)")
+		fmt.Print(bench.RenderFigure6(bench.Figure6()))
+		fmt.Println()
+	}
+	fmt.Println("Table II — registers per thread and shared memory per block")
+	fmt.Print(bench.RenderTableII(bench.TableII()))
+}

@@ -1,0 +1,21 @@
+// Command hotspot reproduces the paper's Figure 2: the per-layer-kind
+// runtime breakdown of one training iteration of AlexNet, GoogLeNet,
+// VGG and OverFeat on the simulated Tesla K40c, showing that
+// convolutional layers dominate total runtime.
+//
+// Usage:
+//
+//	hotspot
+package main
+
+import (
+	"fmt"
+
+	"gpucnn/internal/bench"
+)
+
+func main() {
+	fmt.Println("Figure 2 — runtime breakdown of real-life CNN models (simulated K40c)")
+	fmt.Println()
+	fmt.Print(bench.RenderFigure2(bench.Figure2()))
+}

@@ -1,0 +1,21 @@
+// Command kernelprof reproduces the paper's Figure 4: the hotspot
+// kernels inside each convolution implementation at the representative
+// configuration (64, 128, 64, 11, 1), with each kernel's share of the
+// layer's total runtime.
+//
+// Usage:
+//
+//	kernelprof
+package main
+
+import (
+	"fmt"
+
+	"gpucnn/internal/bench"
+	"gpucnn/internal/workload"
+)
+
+func main() {
+	fmt.Printf("Figure 4 — hotspot kernels at %v (simulated K40c)\n\n", workload.Base())
+	fmt.Print(bench.RenderFigure4(bench.Figure4()))
+}

@@ -1,0 +1,48 @@
+// Command memprof reproduces the paper's Figure 5: peak GPU memory
+// usage of the seven implementations across the same five parameter
+// sweeps as Figure 3 (the simulated analogue of watching nvidia-smi).
+//
+// Usage:
+//
+//	memprof [-sweep batch|input|filter|kernel|stride|all] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpucnn/internal/bench"
+	"gpucnn/internal/workload"
+)
+
+func main() {
+	sweep := flag.String("sweep", "all", "parameter to sweep: batch, input, filter, kernel, stride, or all")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	device := flag.String("device", "k40c", "simulated device: k40c or titanx")
+	flag.Parse()
+
+	spec, err := bench.SpecByName(*device)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	names := workload.SweepNames()
+	if *sweep != "all" {
+		if _, ok := workload.Sweeps()[*sweep]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown sweep %q (have %v)\n", *sweep, names)
+			os.Exit(2)
+		}
+		names = []string{*sweep}
+	}
+	for _, name := range names {
+		rows := bench.Figure3On(name, spec)
+		if *csv {
+			fmt.Print(bench.CSVSweep(name, rows, true))
+		} else {
+			fmt.Print(bench.RenderSweepMemory(name, rows))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,26 @@
+// Command report prints the reproduction scorecard: every tracked claim
+// of the paper re-measured on the simulator and graded PASS/FAIL — the
+// one-page answer to "did the reproduction hold?". The same claims are
+// enforced as tests in internal/bench.
+//
+// Usage:
+//
+//	report
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gpucnn/internal/bench"
+)
+
+func main() {
+	claims := bench.Scorecard()
+	fmt.Print(bench.RenderScorecard(claims))
+	for _, c := range claims {
+		if !c.Pass {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command runall regenerates every experiment of the paper in one run —
+// Figures 2 through 7 and Tables I–II — printing each section to
+// stdout. This is the end-to-end reproduction entry point referenced by
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	runall
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"gpucnn/internal/bench"
+	"gpucnn/internal/workload"
+)
+
+func section(title string) {
+	fmt.Println()
+	fmt.Println("================================================================")
+	fmt.Println(title)
+	fmt.Println("================================================================")
+}
+
+func main() {
+	csvDir := flag.String("csv-dir", "", "also write per-sweep CSV files into this directory")
+	flag.Parse()
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	section("Figure 2 — runtime breakdown of real-life CNN models")
+	fmt.Print(bench.RenderFigure2(bench.Figure2()))
+
+	for _, sweep := range workload.SweepNames() {
+		section(fmt.Sprintf("Figure 3 (%s sweep) — runtime comparison", sweep))
+		rows := bench.Figure3(sweep)
+		fmt.Print(bench.RenderSweepTimes(sweep, rows))
+		section(fmt.Sprintf("Figure 5 (%s sweep) — peak memory usage", sweep))
+		fmt.Print(bench.RenderSweepMemory(sweep, rows))
+		if *csvDir != "" {
+			writeCSV(*csvDir, "figure3_"+sweep+".csv", bench.CSVSweep(sweep, rows, false))
+			writeCSV(*csvDir, "figure5_"+sweep+".csv", bench.CSVSweep(sweep, rows, true))
+		}
+	}
+
+	section("Shape limitations (Section IV.B summary)")
+	fmt.Print(bench.RenderShapeMatrix())
+
+	section("Figure 4 — hotspot kernels in convolutional layers")
+	fmt.Print(bench.RenderFigure4(bench.Figure4()))
+
+	section("Table I — convolution configurations for benchmarking")
+	for _, nc := range workload.TableI() {
+		fmt.Printf("  %s %v (channels %d)\n", nc.Name, nc.Cfg, nc.Cfg.Channels)
+	}
+
+	section("Figure 6 — GPU performance profiling")
+	fmt.Print(bench.RenderFigure6(bench.Figure6()))
+
+	section("Figure 7 — data transfer overheads")
+	fmt.Print(bench.RenderFigure7(bench.Figure7()))
+
+	section("Table II — register and shared-memory usage")
+	fmt.Print(bench.RenderTableII(bench.TableII()))
+}
+
+func writeCSV(dir, name, content string) {
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

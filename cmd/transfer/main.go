@@ -1,0 +1,22 @@
+// Command transfer reproduces the paper's Figure 7: the share of each
+// implementation's runtime spent in visible CPU↔GPU data transfers,
+// over the five Table I configurations. Implementations that prefetch
+// through pinned memory (Caffe, cuDNN, fbfft) hide their transfers;
+// Theano-CorrMM's pageable staging spikes past 60% on Conv2.
+//
+// Usage:
+//
+//	transfer
+package main
+
+import (
+	"fmt"
+
+	"gpucnn/internal/bench"
+)
+
+func main() {
+	fmt.Println("Figure 7 — data transfer share of runtime (simulated PCIe)")
+	fmt.Println()
+	fmt.Print(bench.RenderFigure7(bench.Figure7()))
+}

@@ -1,0 +1,88 @@
+// Autotune: the paper's practitioner guidance as a tool. Given a
+// convolution configuration (the 5-tuple plus channels) and an optional
+// device-memory budget, measure all seven implementations on the
+// simulated K40c and recommend the best one — fastest, fastest within
+// budget, and most memory-frugal — the trade-off the paper's Section IV
+// and V summaries describe.
+//
+// Usage:
+//
+//	autotune [-b 64] [-i 128] [-c 3] [-f 64] [-k 11] [-s 1] [-mem-mb 12288]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"gpucnn/internal/bench"
+	"gpucnn/internal/conv"
+	"gpucnn/internal/impls"
+)
+
+func main() {
+	b := flag.Int("b", 64, "mini-batch size")
+	i := flag.Int("i", 128, "input spatial extent (square)")
+	c := flag.Int("c", 3, "input channels")
+	f := flag.Int("f", 64, "filter count")
+	k := flag.Int("k", 11, "kernel extent (square)")
+	s := flag.Int("s", 1, "stride")
+	memMB := flag.Int64("mem-mb", 12288, "device memory budget in MB")
+	flag.Parse()
+
+	cfg := conv.Config{Batch: *b, Input: *i, Channels: *c, Filters: *f, Kernel: *k, Stride: *s}
+	if err := cfg.Validate(); err != nil {
+		fmt.Println("invalid configuration:", err)
+		return
+	}
+
+	fmt.Printf("measuring %v (channels %d) across all implementations...\n\n", cfg, cfg.Channels)
+	var cells []bench.Cell
+	for _, e := range impls.All() {
+		cells = append(cells, bench.Measure(e, cfg))
+	}
+
+	fmt.Printf("%-15s %12s %10s %10s\n", "Implementation", "Time (ms)", "Mem (MB)", "Status")
+	for _, cell := range cells {
+		switch {
+		case cell.OOM:
+			fmt.Printf("%-15s %12s %10s %10s\n", cell.Impl, "-", "-", "OOM")
+		case cell.Unsupported != "":
+			fmt.Printf("%-15s %12s %10s %10s\n", cell.Impl, "-", "-", "shape n/s")
+		default:
+			fmt.Printf("%-15s %12.2f %10d %10s\n", cell.Impl,
+				float64(cell.Time.Microseconds())/1000, cell.PeakBytes>>20, "ok")
+		}
+	}
+
+	ok := cells[:0:0]
+	for _, cell := range cells {
+		if cell.Ok() {
+			ok = append(ok, cell)
+		}
+	}
+	if len(ok) == 0 {
+		fmt.Println("\nno implementation can run this configuration")
+		return
+	}
+	sort.Slice(ok, func(a, b int) bool { return ok[a].Time < ok[b].Time })
+	fmt.Printf("\nfastest overall:        %s (%.2f ms)\n", ok[0].Impl, ms(ok[0]))
+
+	budget := *memMB << 20
+	for _, cell := range ok {
+		if cell.PeakBytes <= budget {
+			fmt.Printf("fastest within %5d MB: %s (%.2f ms, %d MB)\n",
+				*memMB, cell.Impl, ms(cell), cell.PeakBytes>>20)
+			break
+		}
+	}
+	frugal := ok[0]
+	for _, cell := range ok {
+		if cell.PeakBytes < frugal.PeakBytes {
+			frugal = cell
+		}
+	}
+	fmt.Printf("most memory-frugal:     %s (%d MB, %.2f ms)\n", frugal.Impl, frugal.PeakBytes>>20, ms(frugal))
+}
+
+func ms(c bench.Cell) float64 { return float64(c.Time.Microseconds()) / 1000 }

@@ -1,0 +1,57 @@
+// Scaling: a data-parallel scaling study across simulated GPUs — the
+// "one weird trick" extension (the paper's reference [18]). Shards a
+// convolution layer's mini-batch over 1–8 devices, all-reduces the
+// weight gradients over PCIe, and reports speedup and communication
+// fraction per cluster size, for both a conv-heavy and a weight-heavy
+// layer.
+//
+// Usage:
+//
+//	scaling [-engine cuDNN] [-batch 128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gpucnn/internal/conv"
+	"gpucnn/internal/gpusim"
+	"gpucnn/internal/impls"
+	"gpucnn/internal/multigpu"
+	"gpucnn/internal/workload"
+)
+
+func study(name string, e impls.Engine, cfg conv.Config) {
+	fmt.Printf("%s: %v (channels %d, weights %.1f MB)\n", name, cfg, cfg.Channels,
+		float64(cfg.FilterBytes())/(1<<20))
+	fmt.Printf("  %7s %12s %12s %12s %9s %7s\n", "GPUs", "compute", "all-reduce", "total", "speedup", "comm%")
+	results, err := multigpu.ScalingStudy(e, cfg, gpusim.TeslaK40c(), []int{1, 2, 4, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("  %7d %12s %12s %12s %8.2fx %6.1f%%\n",
+			r.Devices, r.ComputeTime.Round(1000), r.AllReduce.Round(1000),
+			r.Total.Round(1000), r.Speedup, r.CommFraction*100)
+	}
+	fmt.Println()
+}
+
+func main() {
+	engineName := flag.String("engine", "cuDNN", "convolution engine")
+	batch := flag.Int("batch", 128, "global mini-batch size")
+	flag.Parse()
+
+	e, err := impls.ByName(*engineName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	convHeavy := workload.Base()
+	convHeavy.Batch = *batch
+	study("conv-heavy layer", e, convHeavy)
+
+	weightHeavy := conv.Config{Batch: *batch, Input: 13, Channels: 384, Filters: 384, Kernel: 3, Stride: 1}
+	study("weight-heavy layer (scales worse: all-reduce is constant in N)", e, weightHeavy)
+}

@@ -1,0 +1,3 @@
+module gpucnn
+
+go 1.22

@@ -1,0 +1,99 @@
+package gpucnn
+
+import (
+	"errors"
+	"testing"
+)
+
+// These tests exercise the public facade exactly as a downstream user
+// would: no internal imports.
+
+func TestPublicEngines(t *testing.T) {
+	engines := Engines()
+	if len(engines) != 7 {
+		t.Fatalf("Engines() = %d, want the paper's 7", len(engines))
+	}
+	if len(EngineNames()) != 7 {
+		t.Fatal("EngineNames() should list 7")
+	}
+	e, err := EngineByName("fbfft")
+	if err != nil || e.Strategy() != FFT {
+		t.Fatalf("EngineByName(fbfft) = %v, %v", e, err)
+	}
+	if NewCaffe().Strategy() != Unrolling || NewCudaConvnet2().Strategy() != Direct {
+		t.Fatal("strategy constants wired wrong")
+	}
+}
+
+func TestPublicEndToEnd(t *testing.T) {
+	cfg := Config{Batch: 8, Input: 16, Channels: 2, Filters: 8, Kernel: 3, Stride: 1}
+	dev := NewDevice(TeslaK40c())
+	plan, err := NewCuDNN().Plan(dev, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Release()
+
+	r := NewRNG(1)
+	x := NewTensor(cfg.InputShape()...)
+	x.FillUniform(r, -1, 1)
+	w := NewTensor(cfg.FilterShape()...)
+	w.FillUniform(r, -1, 1)
+	y := NewTensor(cfg.OutputShape()...)
+	if err := plan.Forward(x, w, y); err != nil {
+		t.Fatal(err)
+	}
+	if !y.AllFinite() || y.AbsMax() == 0 {
+		t.Fatal("forward produced no usable output")
+	}
+	if dev.Elapsed() <= 0 {
+		t.Fatal("simulated clock did not advance")
+	}
+}
+
+func TestPublicMeasure(t *testing.T) {
+	cell := Measure(NewFbfft(), BaseConfig())
+	if !cell.Ok() || cell.Time <= 0 || cell.PeakBytes <= 0 {
+		t.Fatalf("Measure failed: %+v", cell)
+	}
+	// Shape limits surface through the same path.
+	strided := BaseConfig()
+	strided.Stride = 2
+	if Measure(NewFbfft(), strided).Ok() {
+		t.Fatal("fbfft at stride 2 should be unsupported")
+	}
+}
+
+func TestPublicOOMErrorType(t *testing.T) {
+	dev := NewDevice(TeslaK40c())
+	_, err := dev.Mem.Alloc(13<<30, "too-big")
+	var oom *OOMError
+	if !errors.As(err, &oom) {
+		t.Fatalf("want *OOMError, got %v", err)
+	}
+}
+
+func TestPublicTableI(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 5 || rows[0].Name != "Conv1" {
+		t.Fatalf("TableI = %v", rows)
+	}
+}
+
+func TestPublicModelTraining(t *testing.T) {
+	m := LeNet5(NewCuDNN())
+	ctx := NewContext(nil, true)
+	r := NewRNG(3)
+	x := NewTensor(m.InputShape(4)...)
+	x.FillUniform(r, 0, 1)
+	loss, _ := m.Net.TrainStep(ctx, x, []int{0, 1, 2, 3})
+	if loss <= 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	opt := NewSGD(0.01, 0.9, 0)
+	opt.Step(m.Net.Params())
+	loss2, _ := m.Net.TrainStep(ctx, x, []int{0, 1, 2, 3})
+	if loss2 >= loss {
+		t.Fatalf("one SGD step on the same batch should reduce loss: %v -> %v", loss, loss2)
+	}
+}

@@ -1,0 +1,157 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation: Figure 2 (model layer breakdown), Figure 3 (runtime
+// sweeps), Figure 4 (hotspot kernels), Figure 5 (memory sweeps),
+// Figure 6 (GPU metric profile over the Table I configs), Figure 7
+// (transfer overhead), Table I (the configs themselves) and Table II
+// (register / shared-memory usage).
+//
+// All results come from the simulated Tesla K40c in internal/gpusim;
+// absolute values are model outputs, but the comparative shapes are
+// calibrated against the paper's reported observations (see
+// calibration_test.go and EXPERIMENTS.md).
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gpucnn/internal/conv"
+	"gpucnn/internal/gpusim"
+	"gpucnn/internal/impls"
+)
+
+// Cell is one (implementation, configuration) measurement.
+type Cell struct {
+	Impl string
+	Cfg  conv.Config
+
+	// Unsupported carries the shape-limitation message when the engine
+	// cannot run the configuration (the paper renders these as missing
+	// points / dots).
+	Unsupported string
+	// OOM is set when the configuration exceeds the 12 GB device (the
+	// paper's fbfft "program crush" cases).
+	OOM bool
+
+	Time          time.Duration // one training iteration (fwd + bwd)
+	PeakBytes     int64
+	TransferShare float64 // fraction of runtime spent in visible transfers
+	Metrics       gpusim.Metrics
+}
+
+// Ok reports whether the cell holds a valid measurement.
+func (c Cell) Ok() bool { return c.Unsupported == "" && !c.OOM }
+
+// Iterations is how many training iterations each measurement averages
+// over, matching the paper's methodology ("averaged over 10 iterations").
+const Iterations = 10
+
+// Measure runs Iterations training iterations of one engine on one
+// configuration on a fresh simulated K40c and reports averaged results.
+func Measure(e impls.Engine, cfg conv.Config) Cell {
+	return MeasureOn(e, cfg, gpusim.TeslaK40c())
+}
+
+// MeasureOn is Measure on an arbitrary device specification — used by
+// the cross-architecture ablations and the CLI tools' -device flag.
+func MeasureOn(e impls.Engine, cfg conv.Config, spec gpusim.DeviceSpec) Cell {
+	cell := Cell{Impl: e.Name(), Cfg: cfg}
+	if err := e.Supports(cfg.WithDefaults()); err != nil {
+		cell.Unsupported = err.Error()
+		return cell
+	}
+	dev := gpusim.New(spec)
+	plan, err := e.Plan(dev, cfg)
+	if err != nil {
+		var oom *gpusim.OOMError
+		if errors.As(err, &oom) {
+			cell.OOM = true
+			return cell
+		}
+		cell.Unsupported = err.Error()
+		return cell
+	}
+	defer plan.Release()
+	for i := 0; i < Iterations; i++ {
+		if err := plan.Iteration(); err != nil {
+			var oom *gpusim.OOMError
+			if errors.As(err, &oom) {
+				cell.OOM = true
+				return cell
+			}
+			cell.Unsupported = err.Error()
+			return cell
+		}
+	}
+	cell.Time = dev.Elapsed() / Iterations
+	cell.PeakBytes = dev.Mem.Peak()
+	if el := dev.Elapsed(); el > 0 {
+		cell.TransferShare = dev.TransferTime().Seconds() / el.Seconds()
+	}
+	cell.Metrics = dev.Prof.WeightedMetrics(5)
+	return cell
+}
+
+// Row is one sweep point: the swept parameter value and one cell per
+// implementation, in registry order.
+type Row struct {
+	Value int
+	Cells []Cell
+}
+
+// Sweep measures every implementation across a list of configurations
+// on the paper's K40c.
+func Sweep(cfgs []conv.Config, value func(conv.Config) int) []Row {
+	return SweepOn(cfgs, value, gpusim.TeslaK40c())
+}
+
+// SweepOn is Sweep on an arbitrary device specification.
+func SweepOn(cfgs []conv.Config, value func(conv.Config) int, spec gpusim.DeviceSpec) []Row {
+	engines := impls.All()
+	rows := make([]Row, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		row := Row{Value: value(cfg)}
+		for _, e := range engines {
+			row.Cells = append(row.Cells, MeasureOn(e, cfg, spec))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// SpecByName resolves a device name for CLI -device flags.
+func SpecByName(name string) (gpusim.DeviceSpec, error) {
+	switch name {
+	case "", "k40c", "K40c":
+		return gpusim.TeslaK40c(), nil
+	case "titanx", "TitanX", "titan-x":
+		return gpusim.TitanXMaxwell(), nil
+	}
+	return gpusim.DeviceSpec{}, fmt.Errorf("bench: unknown device %q (have k40c, titanx)", name)
+}
+
+// Best returns the fastest valid cell of a row.
+func (r Row) Best() (Cell, bool) {
+	var best Cell
+	found := false
+	for _, c := range r.Cells {
+		if !c.Ok() {
+			continue
+		}
+		if !found || c.Time < best.Time {
+			best, found = c, true
+		}
+	}
+	return best, found
+}
+
+// CellFor returns the row's cell for an implementation name.
+func (r Row) CellFor(name string) (Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Impl == name {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"gpucnn/internal/conv"
+	"gpucnn/internal/gpusim"
+	"gpucnn/internal/impls"
+	"gpucnn/internal/models"
+	"gpucnn/internal/nn"
+	"gpucnn/internal/tensor"
+	"gpucnn/internal/workload"
+)
+
+// ModelBreakdown is one bar of Figure 2.
+type ModelBreakdown struct {
+	Model     string
+	Batch     int
+	Total     time.Duration
+	ByKind    map[nn.Kind]time.Duration
+	ConvShare float64
+	Params    int
+}
+
+// Figure2 profiles the paper's four real-life models for one training
+// iteration each (the paper averaged 10; the simulation is
+// deterministic, so one suffices) and returns the per-layer-kind
+// runtime breakdowns. The models run on the Caffe engine, the
+// framework the paper profiled the full models in.
+func Figure2() []ModelBreakdown {
+	batches := map[string]int{"AlexNet": 128, "GoogLeNet": 128, "OverFeat": 128, "VGG": 64}
+	order := []string{"GoogLeNet", "VGG", "OverFeat", "AlexNet"}
+	var out []ModelBreakdown
+	for _, name := range order {
+		m := models.All(impls.NewCaffe())[name]
+		dev := gpusim.New(gpusim.TeslaK40c())
+		ctx := nn.NewContext(dev, true)
+		batch := batches[name]
+		m.Net.SimulateIteration(ctx, tensor.Shape(m.InputShape(batch)))
+		out = append(out, ModelBreakdown{
+			Model:     name,
+			Batch:     batch,
+			Total:     dev.Elapsed(),
+			ByKind:    ctx.TimeByKind,
+			ConvShare: nn.ConvShare(ctx.TimeByKind),
+			Params:    m.Net.ParamCount(),
+		})
+		m.Net.Release()
+	}
+	return out
+}
+
+// Figure3 runs the runtime comparison for one named sweep ("batch",
+// "input", "filter", "kernel" or "stride") on the paper's K40c.
+func Figure3(sweep string) []Row {
+	return Figure3On(sweep, gpusim.TeslaK40c())
+}
+
+// Figure3On is Figure3 on an arbitrary device specification.
+func Figure3On(sweep string, spec gpusim.DeviceSpec) []Row {
+	cfgs, ok := workload.Sweeps()[sweep]
+	if !ok {
+		panic(fmt.Sprintf("bench: unknown sweep %q", sweep))
+	}
+	return SweepOn(cfgs, func(c conv.Config) int { return workload.SweptValue(sweep, c) }, spec)
+}
+
+// KernelShare is one slice of a Figure 4 pie.
+type KernelShare struct {
+	Kernel string
+	Share  float64
+	Time   time.Duration
+}
+
+// Figure4 profiles the hotspot kernels of every implementation at the
+// representative configuration (64,128,64,11,1) and returns each
+// implementation's kernel-share breakdown, largest first.
+func Figure4() map[string][]KernelShare {
+	out := map[string][]KernelShare{}
+	for _, e := range impls.All() {
+		dev := gpusim.New(gpusim.TeslaK40c())
+		plan, err := e.Plan(dev, workload.Base())
+		if err != nil {
+			continue
+		}
+		if err := plan.Iteration(); err != nil {
+			plan.Release()
+			continue
+		}
+		total := dev.Prof.TotalTime().Seconds()
+		var shares []KernelShare
+		for _, k := range dev.Prof.Kernels() {
+			shares = append(shares, KernelShare{
+				Kernel: k.Name,
+				Share:  k.Total.Seconds() / total,
+				Time:   k.Total,
+			})
+		}
+		out[e.Name()] = shares
+		plan.Release()
+	}
+	return out
+}
+
+// GEMMShare sums the GEMM-classified kernel shares of a Figure 4
+// breakdown (the paper groups all matrix-multiply kernels as GEMM).
+func GEMMShare(shares []KernelShare) float64 {
+	var s float64
+	for _, k := range shares {
+		name := strings.ToLower(k.Kernel)
+		if strings.Contains(name, "gemm") || strings.Contains(name, "wgrad") {
+			s += k.Share
+		}
+	}
+	return s
+}
+
+// Figure5 runs the peak-memory comparison for one named sweep.
+// Sweep cells already carry PeakBytes; this simply reuses Figure3's
+// machinery (the paper, likewise, measured both in the same runs).
+func Figure5(sweep string) []Row {
+	return Figure3(sweep)
+}
+
+// MetricsRow is one implementation's weighted metric profile on one
+// Table I configuration (Figure 6).
+type MetricsRow struct {
+	Config string
+	Impl   string
+	Cell   Cell
+}
+
+// Figure6 profiles every implementation over the five Table I
+// configurations, reporting runtime plus the five nvprof metrics,
+// weighted over the top kernels as in the paper.
+func Figure6() []MetricsRow {
+	var out []MetricsRow
+	for _, nc := range workload.TableI() {
+		for _, e := range impls.All() {
+			out = append(out, MetricsRow{Config: nc.Name, Impl: e.Name(), Cell: Measure(e, nc.Cfg)})
+		}
+	}
+	return out
+}
+
+// TransferRow is one implementation's transfer share on one Table I
+// configuration (Figure 7).
+type TransferRow struct {
+	Config string
+	Impl   string
+	Share  float64
+	Ok     bool
+}
+
+// Figure7 measures the CPU↔GPU transfer overhead share over the five
+// Table I configurations.
+func Figure7() []TransferRow {
+	var out []TransferRow
+	for _, nc := range workload.TableI() {
+		for _, e := range impls.All() {
+			cell := Measure(e, nc.Cfg)
+			out = append(out, TransferRow{Config: nc.Name, Impl: e.Name(), Share: cell.TransferShare, Ok: cell.Ok()})
+		}
+	}
+	return out
+}
+
+// TableIIRow is one implementation's top-kernel resource usage.
+type TableIIRow struct {
+	Impl          string
+	RegsPerThread int
+	SmemPerBlockB int
+}
+
+// TableII reports the register and shared-memory footprint of each
+// implementation's dominant kernel, reproducing the paper's Table II.
+func TableII() []TableIIRow {
+	var out []TableIIRow
+	for _, e := range impls.All() {
+		dev := gpusim.New(gpusim.TeslaK40c())
+		plan, err := e.Plan(dev, workload.Base())
+		if err != nil {
+			continue
+		}
+		if err := plan.Iteration(); err != nil {
+			plan.Release()
+			continue
+		}
+		// The paper's Table II lists each implementation's characteristic
+		// compute kernel: the transform kernel for the FFT engines, the
+		// longest-running kernel otherwise.
+		var pick *gpusim.KernelStats
+		for _, k := range dev.Prof.Kernels() {
+			if e.Strategy() == conv.FFT {
+				if strings.Contains(k.Name, "decimateInFrequency") ||
+					strings.Contains(strings.ToLower(k.Name), "fft") {
+					pick = k
+					break
+				}
+				continue
+			}
+			pick = k // Kernels() is sorted by total time
+			break
+		}
+		if pick != nil {
+			out = append(out, TableIIRow{
+				Impl:          e.Name(),
+				RegsPerThread: pick.RegsPerThread,
+				SmemPerBlockB: pick.SmemPerBlock,
+			})
+		}
+		plan.Release()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Impl < out[j].Impl })
+	return out
+}

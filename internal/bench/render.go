@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"gpucnn/internal/impls"
+	"gpucnn/internal/nn"
+)
+
+// fmtDur renders a duration in milliseconds with fixed precision.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+}
+
+// fmtMB renders bytes as whole mebibytes.
+func fmtMB(b int64) string {
+	return fmt.Sprintf("%d", b>>20)
+}
+
+// RenderSweepTimes renders a Figure 3 panel: one row per swept value,
+// one column per implementation, entries in milliseconds per training
+// iteration ("n/s" = shape unsupported, "OOM" = out of device memory).
+func RenderSweepTimes(param string, rows []Row) string {
+	return renderSweep(param, rows, "runtime (ms/iter)", func(c Cell) string {
+		return fmtDur(c.Time)
+	})
+}
+
+// RenderSweepMemory renders a Figure 5 panel: peak device memory in MB.
+func RenderSweepMemory(param string, rows []Row) string {
+	return renderSweep(param, rows, "peak device memory (MB)", func(c Cell) string {
+		return fmtMB(c.PeakBytes)
+	})
+}
+
+func renderSweep(param string, rows []Row, what string, cell func(Cell) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s sweep — %s\n", param, what)
+	fmt.Fprintf(&b, "%-8s", param)
+	for _, name := range impls.Names() {
+		fmt.Fprintf(&b, " %14s", name)
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-8d", row.Value)
+		for _, c := range row.Cells {
+			switch {
+			case c.OOM:
+				fmt.Fprintf(&b, " %14s", "OOM")
+			case c.Unsupported != "":
+				fmt.Fprintf(&b, " %14s", "n/s")
+			default:
+				fmt.Fprintf(&b, " %14s", cell(c))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFigure2 renders the model layer breakdowns.
+func RenderFigure2(breakdowns []ModelBreakdown) string {
+	var b strings.Builder
+	for _, mb := range breakdowns {
+		fmt.Fprintf(&b, "%s (batch %d, %.2fM params): iteration %s, Conv %.1f%%\n",
+			mb.Model, mb.Batch, float64(mb.Params)/1e6,
+			mb.Total.Round(time.Millisecond), mb.ConvShare*100)
+		b.WriteString(indent(nn.BreakdownReport(mb.ByKind), "  "))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFigure4 renders the hotspot-kernel shares per implementation.
+func RenderFigure4(shares map[string][]KernelShare) string {
+	var b strings.Builder
+	for _, name := range impls.Names() {
+		ks, ok := shares[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%s (GEMM-class kernels: %.1f%%)\n", name, GEMMShare(ks)*100)
+		for _, k := range ks {
+			fmt.Fprintf(&b, "  %-36s %5.1f%%  %s\n", k.Kernel, k.Share*100, k.Time.Round(time.Microsecond))
+		}
+	}
+	return b.String()
+}
+
+// RenderFigure6 renders the metric profile table.
+func RenderFigure6(rows []MetricsRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s %-15s %10s %7s %6s %7s %7s %7s %8s\n",
+		"Config", "Impl", "Time(ms)", "Occ%", "IPC", "WEE%", "Gld%", "Gst%", "Shared%")
+	for _, r := range rows {
+		if !r.Cell.Ok() {
+			fmt.Fprintf(&b, "%-7s %-15s %10s\n", r.Config, r.Impl, "n/s")
+			continue
+		}
+		m := r.Cell.Metrics
+		fmt.Fprintf(&b, "%-7s %-15s %10s %7.1f %6.2f %7.1f %7.1f %7.1f %8.1f\n",
+			r.Config, r.Impl, fmtDur(r.Cell.Time),
+			m.AchievedOccupancy*100, m.IPC, m.WarpExecEff, m.GldEff, m.GstEff, m.SharedEff)
+	}
+	return b.String()
+}
+
+// RenderFigure7 renders transfer shares as a config × implementation
+// percentage table.
+func RenderFigure7(rows []TransferRow) string {
+	configs := []string{}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if !seen[r.Config] {
+			seen[r.Config] = true
+			configs = append(configs, r.Config)
+		}
+	}
+	byKey := map[string]TransferRow{}
+	for _, r := range rows {
+		byKey[r.Config+"/"+r.Impl] = r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "Config")
+	for _, name := range impls.Names() {
+		fmt.Fprintf(&b, " %14s", name)
+	}
+	b.WriteByte('\n')
+	for _, cfg := range configs {
+		fmt.Fprintf(&b, "%-8s", cfg)
+		for _, name := range impls.Names() {
+			r, ok := byKey[cfg+"/"+name]
+			if !ok || !r.Ok {
+				fmt.Fprintf(&b, " %14s", "n/s")
+				continue
+			}
+			fmt.Fprintf(&b, " %13.1f%%", r.Share*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderTableII renders the resource-usage table.
+func RenderTableII(rows []TableIIRow) string {
+	sorted := append([]TableIIRow(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Impl < sorted[j].Impl })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s %10s %18s\n", "Implementation", "Registers", "Shared Memory(KB)")
+	for _, r := range sorted {
+		fmt.Fprintf(&b, "%-15s %10d %18.1f\n", r.Impl, r.RegsPerThread, float64(r.SmemPerBlockB)/1024)
+	}
+	return b.String()
+}
+
+// CSVSweep renders a sweep as CSV for plotting.
+func CSVSweep(param string, rows []Row, memory bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", param)
+	for _, name := range impls.Names() {
+		fmt.Fprintf(&b, ",%s", name)
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%d", row.Value)
+		for _, c := range row.Cells {
+			if !c.Ok() {
+				b.WriteString(",")
+				continue
+			}
+			if memory {
+				fmt.Fprintf(&b, ",%d", c.PeakBytes>>20)
+			} else {
+				fmt.Fprintf(&b, ",%.3f", float64(c.Time.Microseconds())/1000)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

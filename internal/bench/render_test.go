@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gpucnn/internal/conv"
+	"gpucnn/internal/impls"
+	"gpucnn/internal/workload"
+)
+
+func sampleRows() []Row {
+	cells := []Cell{
+		{Impl: "Caffe", Time: 100 * time.Millisecond, PeakBytes: 500 << 20},
+		{Impl: "fbfft", Time: 20 * time.Millisecond, PeakBytes: 1000 << 20},
+		{Impl: "Theano-fft", Unsupported: "stride"},
+		{Impl: "cuda-convnet2", OOM: true},
+	}
+	return []Row{{Value: 64, Cells: cells}}
+}
+
+func TestRenderSweepTimesMarksSpecialCells(t *testing.T) {
+	out := RenderSweepTimes("batch", sampleRows())
+	if !strings.Contains(out, "100.00") || !strings.Contains(out, "20.00") {
+		t.Fatalf("times missing:\n%s", out)
+	}
+	if !strings.Contains(out, "n/s") {
+		t.Fatalf("unsupported marker missing:\n%s", out)
+	}
+	if !strings.Contains(out, "OOM") {
+		t.Fatalf("OOM marker missing:\n%s", out)
+	}
+}
+
+func TestRenderSweepMemory(t *testing.T) {
+	out := RenderSweepMemory("batch", sampleRows())
+	if !strings.Contains(out, "500") || !strings.Contains(out, "1000") {
+		t.Fatalf("memory values missing:\n%s", out)
+	}
+	if !strings.Contains(out, "peak device memory") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+}
+
+func TestCSVSweep(t *testing.T) {
+	out := CSVSweep("batch", sampleRows(), false)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want header + 1 row, got %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "batch,") {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "64,") {
+		t.Fatalf("bad row %q", lines[1])
+	}
+	mem := CSVSweep("batch", sampleRows(), true)
+	if !strings.Contains(mem, "500") {
+		t.Fatalf("memory CSV missing values:\n%s", mem)
+	}
+}
+
+func TestRowHelpers(t *testing.T) {
+	row := sampleRows()[0]
+	best, ok := row.Best()
+	if !ok || best.Impl != "fbfft" {
+		t.Fatalf("Best = %v", best)
+	}
+	c, ok := row.CellFor("Caffe")
+	if !ok || c.Time != 100*time.Millisecond {
+		t.Fatalf("CellFor(Caffe) = %v", c)
+	}
+	if _, ok := row.CellFor("nope"); ok {
+		t.Fatal("CellFor on unknown impl should report false")
+	}
+}
+
+func TestCellOk(t *testing.T) {
+	if (Cell{OOM: true}).Ok() || (Cell{Unsupported: "x"}).Ok() {
+		t.Fatal("failed cells must not be Ok")
+	}
+	if !(Cell{Time: time.Millisecond}).Ok() {
+		t.Fatal("valid cell should be Ok")
+	}
+}
+
+func TestMeasureUnsupportedAndOOM(t *testing.T) {
+	fb, _ := impls.ByName("fbfft")
+	strided := conv.Config{Batch: 4, Input: 16, Channels: 1, Filters: 4, Kernel: 3, Stride: 2}
+	c := Measure(fb, strided)
+	if c.Unsupported == "" {
+		t.Fatal("Measure should mark unsupported shape")
+	}
+	huge := conv.Config{Batch: 256, Input: 256, Channels: 3, Filters: 96, Kernel: 11, Stride: 1}
+	c = Measure(fb, huge)
+	if !c.OOM {
+		t.Fatalf("Measure should mark OOM, got %+v", c)
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	e, _ := impls.ByName("cuDNN")
+	a := Measure(e, workload.Base())
+	b := Measure(e, workload.Base())
+	if a.Time != b.Time || a.PeakBytes != b.PeakBytes {
+		t.Fatalf("Measure not deterministic: %v/%v vs %v/%v", a.Time, a.PeakBytes, b.Time, b.PeakBytes)
+	}
+}
+
+func TestRenderFigure6AndFigure7(t *testing.T) {
+	rows6 := []MetricsRow{{Config: "Conv1", Impl: "cuDNN", Cell: Cell{Time: time.Millisecond}}}
+	out := RenderFigure6(rows6)
+	if !strings.Contains(out, "Conv1") || !strings.Contains(out, "cuDNN") {
+		t.Fatalf("figure 6 render missing rows:\n%s", out)
+	}
+	rows7 := []TransferRow{
+		{Config: "Conv2", Impl: "Theano-CorrMM", Share: 0.6, Ok: true},
+		{Config: "Conv2", Impl: "fbfft", Ok: true},
+	}
+	out = RenderFigure7(rows7)
+	if !strings.Contains(out, "60.0%") {
+		t.Fatalf("figure 7 render missing share:\n%s", out)
+	}
+}
+
+func TestRenderTableII(t *testing.T) {
+	out := RenderTableII([]TableIIRow{{Impl: "fbfft", RegsPerThread: 106, SmemPerBlockB: 10240}})
+	if !strings.Contains(out, "106") || !strings.Contains(out, "10.0") {
+		t.Fatalf("table II render wrong:\n%s", out)
+	}
+}
+
+func TestShapeMatrixMatchesPaperSummary(t *testing.T) {
+	m := ShapeMatrix()
+	// Unrolling engines support everything.
+	for _, name := range []string{"Caffe", "Torch-cunn", "Theano-CorrMM", "cuDNN"} {
+		for caseName, row := range m {
+			if !row[name] {
+				t.Errorf("%s should support %q", name, caseName)
+			}
+		}
+	}
+	// cuda-convnet2 rejects odd batches and filter counts.
+	if m["batch 50"]["cuda-convnet2"] || m["filters 100"]["cuda-convnet2"] {
+		t.Error("cuda-convnet2 should reject non-multiple shapes")
+	}
+	if !m["stride 2"]["cuda-convnet2"] {
+		t.Error("cuda-convnet2 supports strides")
+	}
+	// FFT engines reject stride 2 only.
+	for _, name := range []string{"fbfft", "Theano-fft"} {
+		if m["stride 2"][name] {
+			t.Errorf("%s should reject stride 2", name)
+		}
+		if !m["batch 50"][name] || !m["filters 100"][name] {
+			t.Errorf("%s should accept odd batch/filter counts", name)
+		}
+	}
+	out := RenderShapeMatrix()
+	if !strings.Contains(out, "stride 2") || !strings.Contains(out, "yes") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+}
+
+func TestScorecardAllClaimsPass(t *testing.T) {
+	claims := Scorecard()
+	if len(claims) < 18 {
+		t.Fatalf("scorecard has %d claims, want a comprehensive set", len(claims))
+	}
+	for _, c := range claims {
+		if !c.Pass {
+			t.Errorf("claim %s failed: paper %q, measured %q", c.ID, c.Paper, c.Measured)
+		}
+	}
+	out := RenderScorecard(claims)
+	if !strings.Contains(out, "claims reproduced") || !strings.Contains(out, "PASS") {
+		t.Fatalf("scorecard render wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"gpucnn/internal/conv"
+	"gpucnn/internal/impls"
+)
+
+// ShapeCase is one probe of the shape-limitation matrix.
+type ShapeCase struct {
+	Name string
+	Cfg  conv.Config
+}
+
+// ShapeCases returns probes for every limitation the paper's Section
+// IV.B summary names: arbitrary batches and filter counts (rejected by
+// cuda-convnet2's multiples-of-32/16 rules) and strides above 1
+// (rejected by the FFT engines).
+func ShapeCases() []ShapeCase {
+	base := conv.Config{Batch: 64, Input: 64, Channels: 3, Filters: 64, Kernel: 5, Stride: 1}
+	odd := base
+	odd.Batch = 50 // not a multiple of 32
+	oddF := base
+	oddF.Filters = 100 // not a multiple of 16
+	strided := base
+	strided.Stride = 2
+	return []ShapeCase{
+		{"base (64,64,64,5,1)", base},
+		{"batch 50", odd},
+		{"filters 100", oddF},
+		{"stride 2", strided},
+	}
+}
+
+// ShapeMatrix probes every implementation against every case and
+// returns support[caseName][implName].
+func ShapeMatrix() map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for _, sc := range ShapeCases() {
+		row := map[string]bool{}
+		for _, e := range impls.All() {
+			row[e.Name()] = e.Supports(sc.Cfg) == nil
+		}
+		out[sc.Name] = row
+	}
+	return out
+}
+
+// RenderShapeMatrix renders the support matrix as a table, reproducing
+// the paper's shape-restriction summary ("unrolling-based
+// implementations are most flexible … cuda-convnet2 only supports …
+// FFT-based convolutions … stride must be 1").
+func RenderShapeMatrix() string {
+	matrix := ShapeMatrix()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s", "Configuration")
+	for _, name := range impls.Names() {
+		fmt.Fprintf(&b, " %14s", name)
+	}
+	b.WriteByte('\n')
+	for _, sc := range ShapeCases() {
+		fmt.Fprintf(&b, "%-22s", sc.Name)
+		for _, name := range impls.Names() {
+			mark := "yes"
+			if !matrix[sc.Name][name] {
+				mark = "-"
+			}
+			fmt.Fprintf(&b, " %14s", mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+// Package conv defines the convolution-layer configuration space used
+// throughout the paper (the 5-tuple (b, i, f, k, s)) and implements the
+// three convolution strategies the surveyed frameworks follow — direct,
+// unrolling (im2col + GEMM), and FFT — each with forward, backward-data,
+// and backward-filter passes. These are the reference algorithms the
+// seven engine implementations in internal/impls are built from and
+// cross-validated against.
+//
+// Like the paper's frameworks, "convolution" here is cross-correlation
+// (no kernel flip), which is the convention of Caffe, Torch and cuDNN.
+package conv
+
+import (
+	"fmt"
+
+	"gpucnn/internal/tensor"
+)
+
+// Config is the paper's 5-tuple (b, i, f, k, s) extended with the input
+// channel count (the paper leaves c implicit; we default it to 3, the
+// RGB depth of the first layer of a real network) and optional padding.
+// Input images and kernels are square, matching the paper's setup.
+type Config struct {
+	Batch    int // b: mini-batch size
+	Input    int // i: input spatial extent (square)
+	Channels int // c: input feature maps
+	Filters  int // f: output feature maps
+	Kernel   int // k: kernel extent (square)
+	Stride   int // s
+	Pad      int // zero padding on each border
+}
+
+// WithDefaults returns the config with Channels defaulted to 3 and
+// Stride defaulted to 1 if unset.
+func (c Config) WithDefaults() Config {
+	if c.Channels == 0 {
+		c.Channels = 3
+	}
+	if c.Stride == 0 {
+		c.Stride = 1
+	}
+	return c
+}
+
+// Out returns the output spatial extent.
+func (c Config) Out() int {
+	return (c.Input+2*c.Pad-c.Kernel)/c.Stride + 1
+}
+
+// Validate reports an error for configurations no strategy can run.
+func (c Config) Validate() error {
+	if c.Batch <= 0 || c.Input <= 0 || c.Channels <= 0 || c.Filters <= 0 || c.Kernel <= 0 {
+		return fmt.Errorf("conv: non-positive dimension in %v", c)
+	}
+	if c.Stride <= 0 {
+		return fmt.Errorf("conv: non-positive stride in %v", c)
+	}
+	if c.Pad < 0 {
+		return fmt.Errorf("conv: negative padding in %v", c)
+	}
+	if c.Input+2*c.Pad < c.Kernel {
+		return fmt.Errorf("conv: kernel %d larger than padded input %d", c.Kernel, c.Input+2*c.Pad)
+	}
+	return nil
+}
+
+// String renders the config as the paper's tuple, e.g. "(64,128,64,11,1)".
+func (c Config) String() string {
+	return fmt.Sprintf("(%d,%d,%d,%d,%d)", c.Batch, c.Input, c.Filters, c.Kernel, c.Stride)
+}
+
+// InputShape returns the NCHW activation shape.
+func (c Config) InputShape() tensor.Shape {
+	return tensor.Shape{c.Batch, c.Channels, c.Input, c.Input}
+}
+
+// FilterShape returns the FCHW filter-bank shape.
+func (c Config) FilterShape() tensor.Shape {
+	return tensor.Shape{c.Filters, c.Channels, c.Kernel, c.Kernel}
+}
+
+// OutputShape returns the NCHW output shape.
+func (c Config) OutputShape() tensor.Shape {
+	o := c.Out()
+	return tensor.Shape{c.Batch, c.Filters, o, o}
+}
+
+// InputBytes returns the input tensor footprint in bytes.
+func (c Config) InputBytes() int64 { return int64(c.InputShape().Elems()) * 4 }
+
+// FilterBytes returns the filter tensor footprint in bytes.
+func (c Config) FilterBytes() int64 { return int64(c.FilterShape().Elems()) * 4 }
+
+// OutputBytes returns the output tensor footprint in bytes.
+func (c Config) OutputBytes() int64 { return int64(c.OutputShape().Elems()) * 4 }
+
+// ForwardFLOPs returns the multiply-add flop count of a direct/unrolled
+// forward pass: 2·b·f·c·k²·o².
+func (c Config) ForwardFLOPs() float64 {
+	o := float64(c.Out())
+	return 2 * float64(c.Batch) * float64(c.Filters) * float64(c.Channels) *
+		float64(c.Kernel) * float64(c.Kernel) * o * o
+}
+
+// TrainingFLOPs returns the flop count of one training iteration
+// (forward + backward-data + backward-filter ≈ 3× forward for the
+// spatial strategies).
+func (c Config) TrainingFLOPs() float64 {
+	return 3 * c.ForwardFLOPs()
+}
+
+// Strategy labels the three convolution families the paper compares.
+type Strategy int
+
+const (
+	// Direct convolution slides the filter over the input with no
+	// intermediate data structure (cuda-convnet2, Theano-legacy).
+	Direct Strategy = iota
+	// Unrolling lowers convolution to a single large GEMM via im2col
+	// (Caffe, Torch-cunn, Theano-CorrMM, cuDNN).
+	Unrolling
+	// FFT multiplies in the frequency domain (fbfft, Theano-fft).
+	FFT
+)
+
+// String returns the strategy name used in the paper.
+func (s Strategy) String() string {
+	switch s {
+	case Direct:
+		return "direct"
+	case Unrolling:
+		return "unrolling"
+	case FFT:
+		return "fft"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}

@@ -1,0 +1,149 @@
+package conv
+
+import (
+	"fmt"
+
+	"gpucnn/internal/par"
+	"gpucnn/internal/tensor"
+)
+
+func checkShapes(cfg Config, x, w, y *tensor.Tensor) {
+	if !x.Shape().Equal(cfg.InputShape()) {
+		panic(fmt.Sprintf("conv: input shape %v does not match config %v (%v)", x.Shape(), cfg, cfg.InputShape()))
+	}
+	if !w.Shape().Equal(cfg.FilterShape()) {
+		panic(fmt.Sprintf("conv: filter shape %v does not match config %v (%v)", w.Shape(), cfg, cfg.FilterShape()))
+	}
+	if !y.Shape().Equal(cfg.OutputShape()) {
+		panic(fmt.Sprintf("conv: output shape %v does not match config %v (%v)", y.Shape(), cfg, cfg.OutputShape()))
+	}
+}
+
+// DirectForward computes y = x ⋆ w by the definition: each output
+// element is the dot product of one receptive field with one filter.
+// Work is distributed over (batch, filter) pairs.
+func DirectForward(cfg Config, x, w, y *tensor.Tensor) {
+	checkShapes(cfg, x, w, y)
+	b, c, i := cfg.Batch, cfg.Channels, cfg.Input
+	f, k, s, p, o := cfg.Filters, cfg.Kernel, cfg.Stride, cfg.Pad, cfg.Out()
+	par.ForEach(b*f, func(job int) {
+		n, fi := job/f, job%f
+		wBase := w.Data[fi*c*k*k:]
+		for oy := 0; oy < o; oy++ {
+			for ox := 0; ox < o; ox++ {
+				var acc float32
+				for ci := 0; ci < c; ci++ {
+					xChan := x.Data[(n*c+ci)*i*i:]
+					wChan := wBase[ci*k*k:]
+					for kh := 0; kh < k; kh++ {
+						iy := oy*s + kh - p
+						if iy < 0 || iy >= i {
+							continue
+						}
+						xRow := xChan[iy*i:]
+						wRow := wChan[kh*k:]
+						for kw := 0; kw < k; kw++ {
+							ix := ox*s + kw - p
+							if ix < 0 || ix >= i {
+								continue
+							}
+							acc += xRow[ix] * wRow[kw]
+						}
+					}
+				}
+				y.Data[((n*f+fi)*o+oy)*o+ox] = acc
+			}
+		}
+	})
+}
+
+// DirectBackwardData computes dx given dy and w: every input pixel
+// gathers the contributions of all output positions whose receptive
+// field covers it. Work is distributed over (batch, channel) pairs so
+// each goroutine owns its dx slab.
+func DirectBackwardData(cfg Config, dy, w, dx *tensor.Tensor) {
+	checkShapes(cfg, dx, w, dy)
+	b, c, i := cfg.Batch, cfg.Channels, cfg.Input
+	f, k, s, p, o := cfg.Filters, cfg.Kernel, cfg.Stride, cfg.Pad, cfg.Out()
+	par.ForEach(b*c, func(job int) {
+		n, ci := job/c, job%c
+		out := dx.Data[(n*c+ci)*i*i : (n*c+ci+1)*i*i]
+		for idx := range out {
+			out[idx] = 0
+		}
+		for fi := 0; fi < f; fi++ {
+			dyMap := dy.Data[(n*f+fi)*o*o:]
+			wChan := w.Data[(fi*c+ci)*k*k:]
+			for oy := 0; oy < o; oy++ {
+				dyRow := dyMap[oy*o:]
+				for ox := 0; ox < o; ox++ {
+					g := dyRow[ox]
+					if g == 0 {
+						continue
+					}
+					for kh := 0; kh < k; kh++ {
+						iy := oy*s + kh - p
+						if iy < 0 || iy >= i {
+							continue
+						}
+						dxRow := out[iy*i:]
+						wRow := wChan[kh*k:]
+						for kw := 0; kw < k; kw++ {
+							ix := ox*s + kw - p
+							if ix < 0 || ix >= i {
+								continue
+							}
+							dxRow[ix] += g * wRow[kw]
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// DirectBackwardFilter computes dw given x and dy, accumulating over
+// the batch. Work is distributed over filters so each goroutine owns
+// its dw slab.
+func DirectBackwardFilter(cfg Config, x, dy, dw *tensor.Tensor) {
+	checkShapes(cfg, x, dw, dy)
+	b, c, i := cfg.Batch, cfg.Channels, cfg.Input
+	f, k, s, p, o := cfg.Filters, cfg.Kernel, cfg.Stride, cfg.Pad, cfg.Out()
+	par.ForEach(f, func(fi int) {
+		wBase := dw.Data[fi*c*k*k : (fi+1)*c*k*k]
+		for idx := range wBase {
+			wBase[idx] = 0
+		}
+		for n := 0; n < b; n++ {
+			dyMap := dy.Data[(n*f+fi)*o*o:]
+			for ci := 0; ci < c; ci++ {
+				xChan := x.Data[(n*c+ci)*i*i:]
+				wChan := wBase[ci*k*k:]
+				for oy := 0; oy < o; oy++ {
+					dyRow := dyMap[oy*o:]
+					for ox := 0; ox < o; ox++ {
+						g := dyRow[ox]
+						if g == 0 {
+							continue
+						}
+						for kh := 0; kh < k; kh++ {
+							iy := oy*s + kh - p
+							if iy < 0 || iy >= i {
+								continue
+							}
+							xRow := xChan[iy*i:]
+							wRow := wChan[kh*k:]
+							for kw := 0; kw < k; kw++ {
+								ix := ox*s + kw - p
+								if ix < 0 || ix >= i {
+									continue
+								}
+								wRow[kw] += g * xRow[ix]
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package conv
+
+import (
+	"fmt"
+
+	"gpucnn/internal/fft"
+	"gpucnn/internal/gemm"
+	"gpucnn/internal/par"
+	"gpucnn/internal/tensor"
+)
+
+// FFTPlanSize returns the per-axis transform size used by the FFT
+// strategy for a config: the padded input extent rounded up to a power
+// of two. This rounding is what produces the step-function memory
+// profile of fbfft in the paper's Figure 5.
+func FFTPlanSize(cfg Config) int {
+	return fft.NextPow2(cfg.Input + 2*cfg.Pad)
+}
+
+func fftCheckStride(cfg Config) {
+	if cfg.Stride != 1 {
+		panic(fmt.Sprintf("conv: FFT strategy requires stride 1, got %d (config %v)", cfg.Stride, cfg))
+	}
+}
+
+// paddedImage copies one C×i×i image into a zero-padded C×ip×ip buffer,
+// or returns the original slice when pad == 0.
+func paddedImage(cfg Config, img []float32) ([]float32, int) {
+	ip := cfg.Input + 2*cfg.Pad
+	if cfg.Pad == 0 {
+		return img, ip
+	}
+	out := make([]float32, cfg.Channels*ip*ip)
+	for c := 0; c < cfg.Channels; c++ {
+		for r := 0; r < cfg.Input; r++ {
+			src := img[(c*cfg.Input+r)*cfg.Input:]
+			dst := out[(c*ip+r+cfg.Pad)*ip+cfg.Pad:]
+			copy(dst[:cfg.Input], src[:cfg.Input])
+		}
+	}
+	return out, ip
+}
+
+// transformFilters FFTs every (f, c) filter plane into an n×n grid.
+func transformFilters(cfg Config, plan *fft.Plan2D, w *tensor.Tensor) [][]complex64 {
+	k := cfg.Kernel
+	grids := make([][]complex64, cfg.Filters*cfg.Channels)
+	par.ForEach(len(grids), func(j int) {
+		grids[j] = plan.ForwardReal(w.Data[j*k*k:(j+1)*k*k], k, k)
+	})
+	return grids
+}
+
+// FFTForward computes the convolution in the frequency domain:
+// transform inputs and filters, multiply input spectra with conjugated
+// filter spectra (correlation form), accumulate over channels, inverse
+// transform, crop the valid o×o region. Requires stride 1.
+func FFTForward(cfg Config, x, w, y *tensor.Tensor) {
+	fftCheckStride(cfg)
+	checkShapes(cfg, x, w, y)
+	n := FFTPlanSize(cfg)
+	plan := fft.NewPlan2D(n)
+	wgrids := transformFilters(cfg, plan, w)
+	o := cfg.Out()
+	imgLen := cfg.Channels * cfg.Input * cfg.Input
+	par.ForEach(cfg.Batch, func(bi int) {
+		img, ip := paddedImage(cfg, x.Data[bi*imgLen:(bi+1)*imgLen])
+		xgrids := make([][]complex64, cfg.Channels)
+		for c := 0; c < cfg.Channels; c++ {
+			xgrids[c] = plan.ForwardReal(img[c*ip*ip:(c+1)*ip*ip], ip, ip)
+		}
+		acc := make([]complex64, plan.N()*plan.N())
+		for f := 0; f < cfg.Filters; f++ {
+			for i := range acc {
+				acc[i] = 0
+			}
+			for c := 0; c < cfg.Channels; c++ {
+				gemm.CMulAccPointwise(acc, xgrids[c], wgrids[f*cfg.Channels+c], true)
+			}
+			plan.InverseRealInto(acc, y.Data[((bi*cfg.Filters+f)*o*o):((bi*cfg.Filters+f)+1)*o*o], o, o, 0, 0)
+		}
+	})
+}
+
+// FFTBackwardData computes dx in the frequency domain: the gradient is
+// the full (non-conjugated) product of output-gradient spectra with
+// filter spectra, summed over filters. Requires stride 1.
+func FFTBackwardData(cfg Config, dy, w, dx *tensor.Tensor) {
+	fftCheckStride(cfg)
+	checkShapes(cfg, dx, w, dy)
+	n := FFTPlanSize(cfg)
+	plan := fft.NewPlan2D(n)
+	wgrids := transformFilters(cfg, plan, w)
+	o := cfg.Out()
+	i := cfg.Input
+	par.ForEach(cfg.Batch, func(bi int) {
+		dygrids := make([][]complex64, cfg.Filters)
+		for f := 0; f < cfg.Filters; f++ {
+			dygrids[f] = plan.ForwardReal(dy.Data[(bi*cfg.Filters+f)*o*o:(bi*cfg.Filters+f+1)*o*o], o, o)
+		}
+		acc := make([]complex64, plan.N()*plan.N())
+		for c := 0; c < cfg.Channels; c++ {
+			for j := range acc {
+				acc[j] = 0
+			}
+			for f := 0; f < cfg.Filters; f++ {
+				gemm.CMulAccPointwise(acc, dygrids[f], wgrids[f*cfg.Channels+c], false)
+			}
+			plan.InverseRealInto(acc, dx.Data[(bi*cfg.Channels+c)*i*i:(bi*cfg.Channels+c+1)*i*i], i, i, cfg.Pad, cfg.Pad)
+		}
+	})
+}
+
+// FFTBackwardFilter computes dw in the frequency domain: for each
+// (filter, channel) pair the gradient spectrum is Σ_batch X·conj(DY),
+// inverse-transformed and cropped to k×k. Requires stride 1.
+func FFTBackwardFilter(cfg Config, x, dy, dw *tensor.Tensor) {
+	fftCheckStride(cfg)
+	checkShapes(cfg, x, dw, dy)
+	n := FFTPlanSize(cfg)
+	plan := fft.NewPlan2D(n)
+	o := cfg.Out()
+	k := cfg.Kernel
+	imgLen := cfg.Channels * cfg.Input * cfg.Input
+	// Transform all activations and gradients up front; the per-(f,c)
+	// reduction below then reads them without synchronisation.
+	xgrids := make([][]complex64, cfg.Batch*cfg.Channels)
+	par.ForEach(len(xgrids), func(j int) {
+		bi, c := j/cfg.Channels, j%cfg.Channels
+		img, ip := paddedImage(cfg, x.Data[bi*imgLen:(bi+1)*imgLen])
+		xgrids[j] = plan.ForwardReal(img[c*ip*ip:(c+1)*ip*ip], ip, ip)
+	})
+	dygrids := make([][]complex64, cfg.Batch*cfg.Filters)
+	par.ForEach(len(dygrids), func(j int) {
+		dygrids[j] = plan.ForwardReal(dy.Data[j*o*o:(j+1)*o*o], o, o)
+	})
+	par.ForEach(cfg.Filters*cfg.Channels, func(j int) {
+		f, c := j/cfg.Channels, j%cfg.Channels
+		acc := make([]complex64, plan.N()*plan.N())
+		for bi := 0; bi < cfg.Batch; bi++ {
+			gemm.CMulAccPointwise(acc, xgrids[bi*cfg.Channels+c], dygrids[bi*cfg.Filters+f], true)
+		}
+		plan.InverseRealInto(acc, dw.Data[j*k*k:(j+1)*k*k], k, k, 0, 0)
+	})
+}

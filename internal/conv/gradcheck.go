@@ -1,0 +1,60 @@
+package conv
+
+import (
+	"gpucnn/internal/tensor"
+)
+
+// Forwarder is any forward convolution implementation with the shared
+// (cfg, x, w, y) signature.
+type Forwarder func(cfg Config, x, w, y *tensor.Tensor)
+
+// NumericalGradInput estimates dL/dx by central finite differences for
+// the loss L = Σ y ⊙ r, where r is a fixed projection tensor. It is
+// O(|x|) forward passes, so only call it on tiny configurations.
+func NumericalGradInput(cfg Config, fwd Forwarder, x, w, r *tensor.Tensor, eps float32) *tensor.Tensor {
+	grad := tensor.New(x.Shape()...)
+	y := tensor.New(cfg.OutputShape()...)
+	loss := func() float64 {
+		fwd(cfg, x, w, y)
+		var s float64
+		for i := range y.Data {
+			s += float64(y.Data[i]) * float64(r.Data[i])
+		}
+		return s
+	}
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp := loss()
+		x.Data[i] = orig - eps
+		lm := loss()
+		x.Data[i] = orig
+		grad.Data[i] = float32((lp - lm) / (2 * float64(eps)))
+	}
+	return grad
+}
+
+// NumericalGradFilter estimates dL/dw by central finite differences for
+// the loss L = Σ y ⊙ r.
+func NumericalGradFilter(cfg Config, fwd Forwarder, x, w, r *tensor.Tensor, eps float32) *tensor.Tensor {
+	grad := tensor.New(w.Shape()...)
+	y := tensor.New(cfg.OutputShape()...)
+	loss := func() float64 {
+		fwd(cfg, x, w, y)
+		var s float64
+		for i := range y.Data {
+			s += float64(y.Data[i]) * float64(r.Data[i])
+		}
+		return s
+	}
+	for i := range w.Data {
+		orig := w.Data[i]
+		w.Data[i] = orig + eps
+		lp := loss()
+		w.Data[i] = orig - eps
+		lm := loss()
+		w.Data[i] = orig
+		grad.Data[i] = float32((lp - lm) / (2 * float64(eps)))
+	}
+	return grad
+}

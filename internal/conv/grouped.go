@@ -1,0 +1,92 @@
+package conv
+
+import (
+	"fmt"
+
+	"gpucnn/internal/par"
+	"gpucnn/internal/tensor"
+)
+
+// Grouped convolution: the original AlexNet split its conv2/4/5 layers
+// into two groups (one per GTX 580) — each output filter sees only its
+// group's slice of the input channels, dividing both computation and
+// parameters by the group count. The surveyed frameworks' reference
+// re-implementations dropped grouping (as internal/models does), but it
+// remains part of the historical model; these functions provide the
+// exact semantics for the grouped AlexNet variant and its parameter
+// count.
+
+// GroupedFilterShape returns the filter-bank shape for g groups:
+// (F, C/g, K, K) — each filter only spans its group's channels.
+func GroupedFilterShape(cfg Config, groups int) tensor.Shape {
+	return tensor.Shape{cfg.Filters, cfg.Channels / groups, cfg.Kernel, cfg.Kernel}
+}
+
+// GroupedSupported validates a group count against a config.
+func GroupedSupported(cfg Config, groups int) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if groups <= 0 {
+		return fmt.Errorf("conv: non-positive group count %d", groups)
+	}
+	if cfg.Channels%groups != 0 {
+		return fmt.Errorf("conv: channels %d not divisible by %d groups", cfg.Channels, groups)
+	}
+	if cfg.Filters%groups != 0 {
+		return fmt.Errorf("conv: filters %d not divisible by %d groups", cfg.Filters, groups)
+	}
+	return nil
+}
+
+// GroupedForward computes a grouped convolution: filters of group g
+// read only input channels [g·C/G, (g+1)·C/G). With groups == 1 it is
+// DirectForward.
+func GroupedForward(cfg Config, groups int, x, w, y *tensor.Tensor) {
+	if err := GroupedSupported(cfg, groups); err != nil {
+		panic(err)
+	}
+	if !w.Shape().Equal(GroupedFilterShape(cfg, groups)) {
+		panic(fmt.Sprintf("conv: grouped filter shape %v, want %v", w.Shape(), GroupedFilterShape(cfg, groups)))
+	}
+	b, c, i := cfg.Batch, cfg.Channels, cfg.Input
+	f, k, s, p, o := cfg.Filters, cfg.Kernel, cfg.Stride, cfg.Pad, cfg.Out()
+	cg := c / groups // channels per group
+	fg := f / groups // filters per group
+	par.ForEach(b*f, func(job int) {
+		n, fi := job/f, job%f
+		g := fi / fg
+		wBase := w.Data[fi*cg*k*k:]
+		for oy := 0; oy < o; oy++ {
+			for ox := 0; ox < o; ox++ {
+				var acc float32
+				for ci := 0; ci < cg; ci++ {
+					xChan := x.Data[(n*c+g*cg+ci)*i*i:]
+					wChan := wBase[ci*k*k:]
+					for kh := 0; kh < k; kh++ {
+						iy := oy*s + kh - p
+						if iy < 0 || iy >= i {
+							continue
+						}
+						xRow := xChan[iy*i:]
+						wRow := wChan[kh*k:]
+						for kw := 0; kw < k; kw++ {
+							ix := ox*s + kw - p
+							if ix < 0 || ix >= i {
+								continue
+							}
+							acc += xRow[ix] * wRow[kw]
+						}
+					}
+				}
+				y.Data[((n*f+fi)*o+oy)*o+ox] = acc
+			}
+		}
+	})
+}
+
+// GroupedParams returns the weight parameter count of a grouped layer:
+// F · (C/g) · K² — grouping divides parameters by g.
+func GroupedParams(cfg Config, groups int) int {
+	return cfg.Filters * (cfg.Channels / groups) * cfg.Kernel * cfg.Kernel
+}

@@ -1,0 +1,107 @@
+package conv
+
+import (
+	"testing"
+
+	"gpucnn/internal/tensor"
+)
+
+func TestGroupedSupported(t *testing.T) {
+	cfg := Config{Batch: 2, Input: 8, Channels: 6, Filters: 8, Kernel: 3, Stride: 1}
+	if err := GroupedSupported(cfg, 2); err != nil {
+		t.Fatalf("2 groups rejected: %v", err)
+	}
+	if GroupedSupported(cfg, 4) == nil {
+		t.Error("channels 6 not divisible by 4 groups")
+	}
+	if GroupedSupported(cfg, 3) == nil {
+		t.Error("filters 8 not divisible by 3 groups")
+	}
+	if GroupedSupported(cfg, 0) == nil {
+		t.Error("zero groups")
+	}
+}
+
+// TestGroupedOneGroupMatchesDirect: groups=1 is plain convolution.
+func TestGroupedOneGroupMatchesDirect(t *testing.T) {
+	cfg := Config{Batch: 2, Input: 9, Channels: 3, Filters: 4, Kernel: 3, Stride: 1, Pad: 1}
+	x, w := randTensors(cfg, 200)
+	y1 := tensor.New(cfg.OutputShape()...)
+	y2 := tensor.New(cfg.OutputShape()...)
+	DirectForward(cfg, x, w, y1)
+	GroupedForward(cfg, 1, x, w, y2)
+	if tensor.MaxAbsDiff(y1, y2) != 0 {
+		t.Fatal("groups=1 must equal direct convolution exactly")
+	}
+}
+
+// TestGroupedEqualsBlockDiagonal: a grouped convolution equals a full
+// convolution with a block-diagonal filter bank (cross-group weights
+// zero).
+func TestGroupedEqualsBlockDiagonal(t *testing.T) {
+	cfg := Config{Batch: 2, Input: 8, Channels: 4, Filters: 6, Kernel: 3, Stride: 1}
+	groups := 2
+	cg, fg := cfg.Channels/groups, cfg.Filters/groups
+	r := tensor.NewRNG(201)
+	x := tensor.New(cfg.InputShape()...)
+	x.FillUniform(r, -1, 1)
+	wg := tensor.New(GroupedFilterShape(cfg, groups)...)
+	wg.FillUniform(r, -1, 1)
+
+	// Expand to a block-diagonal full filter bank.
+	full := tensor.New(cfg.FilterShape()...)
+	k2 := cfg.Kernel * cfg.Kernel
+	for fi := 0; fi < cfg.Filters; fi++ {
+		g := fi / fg
+		for ci := 0; ci < cg; ci++ {
+			src := wg.Data[(fi*cg+ci)*k2 : (fi*cg+ci+1)*k2]
+			dst := full.Data[(fi*cfg.Channels+g*cg+ci)*k2:]
+			copy(dst[:k2], src)
+		}
+	}
+
+	y1 := tensor.New(cfg.OutputShape()...)
+	GroupedForward(cfg, groups, x, wg, y1)
+	y2 := tensor.New(cfg.OutputShape()...)
+	DirectForward(cfg, x, full, y2)
+	if !tensor.AllClose(y1, y2, 1e-5) {
+		t.Fatalf("grouped != block-diagonal full: %g", tensor.RelDiff(y1, y2))
+	}
+}
+
+// TestGroupedAlexNetParameterCount: with 2 groups on conv2/4/5 the
+// historical AlexNet lands at its published ~60.97 M parameters
+// (ungrouped, internal/models measures 62.38 M).
+func TestGroupedAlexNetParameterCount(t *testing.T) {
+	type layer struct {
+		cfg    Config
+		groups int
+	}
+	layers := []layer{
+		{Config{Batch: 1, Input: 227, Channels: 3, Filters: 96, Kernel: 11, Stride: 4}, 1},
+		{Config{Batch: 1, Input: 27, Channels: 96, Filters: 256, Kernel: 5, Stride: 1, Pad: 2}, 2},
+		{Config{Batch: 1, Input: 13, Channels: 256, Filters: 384, Kernel: 3, Stride: 1, Pad: 1}, 1},
+		{Config{Batch: 1, Input: 13, Channels: 384, Filters: 384, Kernel: 3, Stride: 1, Pad: 1}, 2},
+		{Config{Batch: 1, Input: 13, Channels: 384, Filters: 256, Kernel: 3, Stride: 1, Pad: 1}, 2},
+	}
+	total := 0
+	for _, l := range layers {
+		total += GroupedParams(l.cfg, l.groups) + l.cfg.Filters // weights + biases
+	}
+	// FC stack: 9216->4096->4096->1000 with biases.
+	total += 9216*4096 + 4096 + 4096*4096 + 4096 + 4096*1000 + 1000
+	if total < 60_500_000 || total > 61_500_000 {
+		t.Fatalf("grouped AlexNet parameter count = %d, want ≈60.97 M", total)
+	}
+}
+
+func TestGroupedRejectsWrongFilterShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ungrouped filter shape")
+		}
+	}()
+	cfg := Config{Batch: 1, Input: 8, Channels: 4, Filters: 4, Kernel: 3, Stride: 1}
+	x, w := randTensors(cfg, 202) // w has full C depth
+	GroupedForward(cfg, 2, x, w, tensor.New(cfg.OutputShape()...))
+}

@@ -1,0 +1,82 @@
+package conv
+
+import (
+	"gpucnn/internal/gemm"
+	"gpucnn/internal/im2col"
+	"gpucnn/internal/par"
+	"gpucnn/internal/tensor"
+)
+
+// geom builds the im2col geometry for one image of the config.
+func (c Config) geom() im2col.Geom {
+	return im2col.Geom{
+		C: c.Channels, H: c.Input, W: c.Input,
+		KH: c.Kernel, KW: c.Kernel,
+		StrideH: c.Stride, StrideW: c.Stride,
+		PadH: c.Pad, PadW: c.Pad,
+	}
+}
+
+// UnrollForward computes the convolution by lowering each image to a
+// column matrix (im2col) and multiplying it by the filter bank viewed
+// as an f×(c·k²) matrix — the Caffe/Torch-cunn/Theano-CorrMM scheme,
+// one GEMM per image, parallel over the batch.
+func UnrollForward(cfg Config, x, w, y *tensor.Tensor) {
+	checkShapes(cfg, x, w, y)
+	g := cfg.geom()
+	rows, cols := g.ColRows(), g.ColCols()
+	imgLen := cfg.Channels * cfg.Input * cfg.Input
+	outLen := cfg.Filters * cols
+	par.ForEach(cfg.Batch, func(n int) {
+		col := make([]float32, rows*cols)
+		im2col.Im2col(g, x.Data[n*imgLen:(n+1)*imgLen], col)
+		// y_n (f×o²) = W (f×(c·k²)) · col ((c·k²)×o²)
+		gemm.Blocked(1, w.Data, col, 0, y.Data[n*outLen:(n+1)*outLen], cfg.Filters, cols, rows)
+	})
+}
+
+// UnrollBackwardData computes dx: per image, col = Wᵀ·dy_n followed by
+// col2im to scatter-accumulate the gradient back to input pixels.
+func UnrollBackwardData(cfg Config, dy, w, dx *tensor.Tensor) {
+	checkShapes(cfg, dx, w, dy)
+	g := cfg.geom()
+	rows, cols := g.ColRows(), g.ColCols()
+	imgLen := cfg.Channels * cfg.Input * cfg.Input
+	outLen := cfg.Filters * cols
+	par.ForEach(cfg.Batch, func(n int) {
+		col := make([]float32, rows*cols)
+		// col ((c·k²)×o²) = Wᵀ ((c·k²)×f) · dy_n (f×o²)
+		gemm.TN(1, w.Data, dy.Data[n*outLen:(n+1)*outLen], 0, col, rows, cols, cfg.Filters)
+		im2col.Col2im(g, col, dx.Data[n*imgLen:(n+1)*imgLen])
+	})
+}
+
+// UnrollBackwardFilter computes dw = Σ_n dy_n · col_nᵀ. Per-image
+// partial products are computed in parallel and reduced at the end, so
+// no worker writes shared state.
+func UnrollBackwardFilter(cfg Config, x, dy, dw *tensor.Tensor) {
+	checkShapes(cfg, x, dw, dy)
+	g := cfg.geom()
+	rows, cols := g.ColRows(), g.ColCols()
+	imgLen := cfg.Channels * cfg.Input * cfg.Input
+	outLen := cfg.Filters * cols
+	wLen := cfg.Filters * rows
+	partials := make([][]float32, cfg.Batch)
+	par.ForEach(cfg.Batch, func(n int) {
+		col := make([]float32, rows*cols)
+		im2col.Im2col(g, x.Data[n*imgLen:(n+1)*imgLen], col)
+		partial := make([]float32, wLen)
+		// dw_n (f×(c·k²)) = dy_n (f×o²) · colᵀ (o²×(c·k²)) — NT form
+		// with B stored row-major as (c·k²)×o².
+		gemm.NT(1, dy.Data[n*outLen:(n+1)*outLen], col, 0, partial, cfg.Filters, rows, cols)
+		partials[n] = partial
+	})
+	for i := range dw.Data {
+		dw.Data[i] = 0
+	}
+	for _, partial := range partials {
+		for i, v := range partial {
+			dw.Data[i] += v
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package conv
+
+import (
+	"gpucnn/internal/par"
+	"gpucnn/internal/tensor"
+)
+
+// Winograd F(4×4, 3×3): the higher-order minimal-filtering variant with
+// 6×6 input tiles and 4×4 output tiles — 36 multiplies per 16 outputs
+// per channel against direct convolution's 144, a 4× reduction (at the
+// price of larger transform constants and hence more float32 round-off,
+// which is why production libraries bound its use; the tests assert a
+// correspondingly looser tolerance).
+
+// f4BT is the 6×6 input transform Bᵀ.
+var f4BT = [6][6]float32{
+	{4, 0, -5, 0, 1, 0},
+	{0, -4, -4, 1, 1, 0},
+	{0, 4, -4, -1, 1, 0},
+	{0, -2, -1, 2, 1, 0},
+	{0, 2, -1, -2, 1, 0},
+	{0, 4, 0, -5, 0, 1},
+}
+
+// f4G is the 6×3 filter transform G.
+var f4G = [6][3]float32{
+	{1.0 / 4, 0, 0},
+	{-1.0 / 6, -1.0 / 6, -1.0 / 6},
+	{-1.0 / 6, 1.0 / 6, -1.0 / 6},
+	{1.0 / 24, 1.0 / 12, 1.0 / 6},
+	{1.0 / 24, -1.0 / 12, 1.0 / 6},
+	{0, 0, 1},
+}
+
+// f4AT is the 4×6 output transform Aᵀ.
+var f4AT = [4][6]float32{
+	{1, 1, 1, 1, 1, 0},
+	{0, 1, -1, 2, -2, 0},
+	{0, 1, 1, 4, 4, 0},
+	{0, 1, -1, 8, -8, 1},
+}
+
+// winograd4Filter computes U = G·g·Gᵀ (6×6) for one 3×3 filter plane.
+func winograd4Filter(g []float32, u *[36]float32) {
+	// t = G·g (6×3)
+	var t [6][3]float32
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 3; c++ {
+			var acc float32
+			for k := 0; k < 3; k++ {
+				acc += f4G[r][k] * g[k*3+c]
+			}
+			t[r][c] = acc
+		}
+	}
+	// U = t·Gᵀ (6×6)
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 6; c++ {
+			var acc float32
+			for k := 0; k < 3; k++ {
+				acc += t[r][k] * f4G[c][k]
+			}
+			u[r*6+c] = acc
+		}
+	}
+}
+
+// winograd4Input computes V = Bᵀ·d·B (6×6) for one 6×6 input tile.
+func winograd4Input(d *[36]float32, v *[36]float32) {
+	var t [36]float32
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 6; c++ {
+			var acc float32
+			for k := 0; k < 6; k++ {
+				acc += f4BT[r][k] * d[k*6+c]
+			}
+			t[r*6+c] = acc
+		}
+	}
+	for r := 0; r < 6; r++ {
+		for c := 0; c < 6; c++ {
+			var acc float32
+			for k := 0; k < 6; k++ {
+				acc += t[r*6+k] * f4BT[c][k]
+			}
+			v[r*6+c] = acc
+		}
+	}
+}
+
+// winograd4Output computes y = Aᵀ·m·A (4×4).
+func winograd4Output(m *[36]float32, y *[16]float32) {
+	var t [4][6]float32
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 6; c++ {
+			var acc float32
+			for k := 0; k < 6; k++ {
+				acc += f4AT[r][k] * m[k*6+c]
+			}
+			t[r][c] = acc
+		}
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			var acc float32
+			for k := 0; k < 6; k++ {
+				acc += t[r][k] * f4AT[c][k]
+			}
+			y[r*4+c] = acc
+		}
+	}
+}
+
+// Winograd4Forward computes y = x ⋆ w with F(4×4, 3×3). Shape limits
+// are the same as WinogradForward (3×3 kernels, stride 1).
+func Winograd4Forward(cfg Config, x, w, y *tensor.Tensor) {
+	if err := WinogradSupported(cfg); err != nil {
+		panic(err)
+	}
+	checkShapes(cfg, x, w, y)
+	b, c, i := cfg.Batch, cfg.Channels, cfg.Input
+	f, p, o := cfg.Filters, cfg.Pad, cfg.Out()
+	tiles := (o + 3) / 4
+
+	us := make([][36]float32, f*c)
+	par.ForEach(f*c, func(j int) {
+		winograd4Filter(w.Data[j*9:(j+1)*9], &us[j])
+	})
+
+	par.ForEach(b*f, func(job int) {
+		n, fi := job/f, job%f
+		out := y.Data[(n*f+fi)*o*o:]
+		var d, v, m [36]float32
+		var ytile [16]float32
+		for ty := 0; ty < tiles; ty++ {
+			for tx := 0; tx < tiles; tx++ {
+				for k := range m {
+					m[k] = 0
+				}
+				for ci := 0; ci < c; ci++ {
+					xChan := x.Data[(n*c+ci)*i*i:]
+					for r := 0; r < 6; r++ {
+						iy := ty*4 + r - p
+						for cc := 0; cc < 6; cc++ {
+							ix := tx*4 + cc - p
+							if iy < 0 || iy >= i || ix < 0 || ix >= i {
+								d[r*6+cc] = 0
+							} else {
+								d[r*6+cc] = xChan[iy*i+ix]
+							}
+						}
+					}
+					winograd4Input(&d, &v)
+					u := &us[fi*c+ci]
+					for k := 0; k < 36; k++ {
+						m[k] += u[k] * v[k]
+					}
+				}
+				winograd4Output(&m, &ytile)
+				for r := 0; r < 4; r++ {
+					oy := ty*4 + r
+					if oy >= o {
+						continue
+					}
+					for cc := 0; cc < 4; cc++ {
+						ox := tx*4 + cc
+						if ox >= o {
+							continue
+						}
+						out[oy*o+ox] = ytile[r*4+cc]
+					}
+				}
+			}
+		}
+	})
+}
+
+// Winograd4Multiplies returns the elementwise multiply count of
+// F(4×4,3×3): 36 per tile per (b, f, c) triple — a 4× reduction over
+// direct convolution when outputs align to the 4×4 tile.
+func Winograd4Multiplies(cfg Config) float64 {
+	o := cfg.Out()
+	tiles := float64((o + 3) / 4 * ((o + 3) / 4))
+	return 36 * tiles * float64(cfg.Batch) * float64(cfg.Filters) * float64(cfg.Channels)
+}

@@ -1,0 +1,65 @@
+package conv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gpucnn/internal/tensor"
+)
+
+func TestWinograd4MatchesDirect(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		cfg := Config{
+			Batch: 1 + r.Intn(2), Input: 6 + r.Intn(14),
+			Channels: 1 + r.Intn(4), Filters: 1 + r.Intn(4),
+			Kernel: 3, Stride: 1, Pad: r.Intn(2),
+		}
+		if cfg.Validate() != nil {
+			return true
+		}
+		x, w := randTensors(cfg, seed+60)
+		y1 := tensor.New(cfg.OutputShape()...)
+		y2 := tensor.New(cfg.OutputShape()...)
+		DirectForward(cfg, x, w, y1)
+		Winograd4Forward(cfg, x, w, y2)
+		// F(4,3)'s larger transform constants amplify float32 noise;
+		// allow a proportionally looser tolerance.
+		return tensor.AllClose(y1, y2, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWinograd4TileClipping(t *testing.T) {
+	// Outputs not divisible by 4 exercise the ragged tile edge.
+	for _, in := range []int{5, 6, 7, 8, 9, 13} {
+		cfg := Config{Batch: 1, Input: in, Channels: 2, Filters: 2, Kernel: 3, Stride: 1}
+		x, w := randTensors(cfg, uint64(100+in))
+		y1 := tensor.New(cfg.OutputShape()...)
+		y2 := tensor.New(cfg.OutputShape()...)
+		DirectForward(cfg, x, w, y1)
+		Winograd4Forward(cfg, x, w, y2)
+		if !tensor.AllClose(y1, y2, 1e-3) {
+			t.Fatalf("input %d: F(4,3) differs from direct by %g", in, tensor.RelDiff(y1, y2))
+		}
+	}
+}
+
+func TestWinograd4MultiplyReduction(t *testing.T) {
+	// Aligned outputs: exactly 144/36 = 4× fewer multiplies.
+	cfg := Config{Batch: 2, Input: 18, Channels: 4, Filters: 8, Kernel: 3, Stride: 1}
+	if cfg.Out()%4 != 0 {
+		t.Fatalf("test wants output divisible by 4, got %d", cfg.Out())
+	}
+	direct := cfg.ForwardFLOPs() / 2
+	wino := Winograd4Multiplies(cfg)
+	if ratio := direct / wino; ratio < 3.99 || ratio > 4.01 {
+		t.Fatalf("multiply reduction = %.3f, want 4", ratio)
+	}
+	// And F(4,3) beats F(2,3)'s 2.25× on aligned shapes.
+	if Winograd4Multiplies(cfg) >= WinogradMultiplies(cfg) {
+		t.Fatal("F(4,3) should use fewer multiplies than F(2,3)")
+	}
+}

@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"gpucnn/internal/tensor"
+)
+
+// IDX is the file format MNIST ships in: a magic number encoding the
+// element type and rank, big-endian dimension sizes, then raw data.
+// This reader/writer handles the unsigned-byte variants used by the
+// image (rank 3) and label (rank 1) files.
+
+const (
+	idxTypeUint8 = 0x08
+)
+
+// WriteIDXImages encodes the dataset's images as an IDX3 unsigned-byte
+// file (values clamped to [0, 1] and scaled to 0–255).
+func WriteIDXImages(w io.Writer, d *Dataset) error {
+	c, h, width := d.Dims()
+	if c != 1 {
+		return fmt.Errorf("dataset: IDX images must be single-channel, have %d", c)
+	}
+	header := []uint32{uint32(idxTypeUint8)<<8 | 3, uint32(d.Len()), uint32(h), uint32(width)}
+	for _, v := range header {
+		if err := binary.Write(w, binary.BigEndian, v); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, h*width)
+	for i := 0; i < d.Len(); i++ {
+		img := d.Images.Data[i*h*width : (i+1)*h*width]
+		for j, v := range img {
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			buf[j] = byte(v * 255)
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteIDXLabels encodes the dataset's labels as an IDX1 file.
+func WriteIDXLabels(w io.Writer, d *Dataset) error {
+	header := []uint32{uint32(idxTypeUint8)<<8 | 1, uint32(d.Len())}
+	for _, v := range header {
+		if err := binary.Write(w, binary.BigEndian, v); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, d.Len())
+	for i, l := range d.Labels {
+		if l < 0 || l > 255 {
+			return fmt.Errorf("dataset: label %d does not fit IDX uint8", l)
+		}
+		buf[i] = byte(l)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadIDX reads paired IDX image and label streams into a Dataset,
+// normalising pixels to [0, 1].
+func ReadIDX(images, labels io.Reader, classes int) (*Dataset, error) {
+	var magic uint32
+	if err := binary.Read(images, binary.BigEndian, &magic); err != nil {
+		return nil, fmt.Errorf("dataset: reading image magic: %w", err)
+	}
+	if magic>>8 != idxTypeUint8 || magic&0xff != 3 {
+		return nil, fmt.Errorf("dataset: image magic %#x is not IDX3 uint8", magic)
+	}
+	var dims [3]uint32
+	for i := range dims {
+		if err := binary.Read(images, binary.BigEndian, &dims[i]); err != nil {
+			return nil, err
+		}
+	}
+	n, h, w := int(dims[0]), int(dims[1]), int(dims[2])
+	raw := make([]byte, n*h*w)
+	if _, err := io.ReadFull(images, raw); err != nil {
+		return nil, fmt.Errorf("dataset: reading %d image bytes: %w", len(raw), err)
+	}
+	imgTensor := tensor.New(n, 1, h, w)
+	for i, b := range raw {
+		imgTensor.Data[i] = float32(b) / 255
+	}
+
+	if err := binary.Read(labels, binary.BigEndian, &magic); err != nil {
+		return nil, fmt.Errorf("dataset: reading label magic: %w", err)
+	}
+	if magic>>8 != idxTypeUint8 || magic&0xff != 1 {
+		return nil, fmt.Errorf("dataset: label magic %#x is not IDX1 uint8", magic)
+	}
+	var count uint32
+	if err := binary.Read(labels, binary.BigEndian, &count); err != nil {
+		return nil, err
+	}
+	if int(count) != n {
+		return nil, fmt.Errorf("dataset: %d labels for %d images", count, n)
+	}
+	rawLabels := make([]byte, n)
+	if _, err := io.ReadFull(labels, rawLabels); err != nil {
+		return nil, err
+	}
+	labelInts := make([]int, n)
+	for i, b := range rawLabels {
+		labelInts[i] = int(b)
+	}
+	return &Dataset{Images: imgTensor, Labels: labelInts, Classes: classes}, nil
+}

@@ -1,0 +1,168 @@
+// Package fft implements the Fast Fourier Transform machinery behind the
+// FFT-based convolution strategy (fbfft, Theano-fft). It provides an
+// iterative radix-2 decimation-in-time transform, a decimation-in-
+// frequency variant (fbfft's decimateInFrequency kernel uses DIF), 2-D
+// transforms, and a naive DFT used as the correctness oracle in tests.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// NextPow2 returns the smallest power of two >= n (and >= 1). FFT-based
+// convolution pads spatial extents to this size, which is the source of
+// the dramatic memory-usage fluctuations the paper reports for fbfft.
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// twiddles[k] = exp(-2πi k / n) for k in [0, n/2).
+func twiddles(n int, inverse bool) []complex64 {
+	tw := make([]complex64, n/2)
+	sign := -2 * math.Pi / float64(n)
+	if inverse {
+		sign = -sign
+	}
+	for k := range tw {
+		s, c := math.Sincos(sign * float64(k))
+		tw[k] = complex(float32(c), float32(s))
+	}
+	return tw
+}
+
+// Plan caches twiddle factors and the bit-reversal permutation for a
+// fixed power-of-two length, so repeated transforms (one per image row,
+// per channel, per batch element) don't recompute trigonometry.
+type Plan struct {
+	n       int
+	forward []complex64
+	inverse []complex64
+	rev     []int
+}
+
+// NewPlan builds a transform plan for length n, which must be a power
+// of two.
+func NewPlan(n int) *Plan {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: plan length %d is not a power of two", n))
+	}
+	p := &Plan{n: n, forward: twiddles(n, false), inverse: twiddles(n, true)}
+	p.rev = make([]int, n)
+	shift := bits.LeadingZeros(uint(n)) + 1
+	for i := range p.rev {
+		p.rev[i] = int(bits.Reverse(uint(i)) >> shift)
+	}
+	return p
+}
+
+// N returns the plan's transform length.
+func (p *Plan) N() int { return p.n }
+
+// Forward performs an in-place forward DFT of x (length must equal the
+// plan length) using iterative radix-2 decimation in time.
+func (p *Plan) Forward(x []complex64) { p.transform(x, p.forward, false) }
+
+// Inverse performs an in-place inverse DFT including the 1/n scaling.
+func (p *Plan) Inverse(x []complex64) { p.transform(x, p.inverse, true) }
+
+func (p *Plan) transform(x []complex64, tw []complex64, scale bool) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("fft: input length %d does not match plan length %d", len(x), n))
+	}
+	// Bit-reversal permutation.
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterfly stages.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			k := 0
+			for i := start; i < start+half; i++ {
+				w := tw[k]
+				a := x[i]
+				b := x[i+half] * w
+				x[i] = a + b
+				x[i+half] = a - b
+				k += step
+			}
+		}
+	}
+	if scale {
+		inv := complex(float32(1)/float32(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// ForwardDIF performs an in-place forward DFT using decimation in
+// frequency, leaving the output in natural order. Numerically it
+// matches Forward; it exists because fbfft's hotspot kernel
+// (decimateInFrequency) uses this schedule, and the kernel cost model
+// keys off it.
+func (p *Plan) ForwardDIF(x []complex64) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("fft: input length %d does not match plan length %d", len(x), n))
+	}
+	tw := p.forward
+	for size := n; size >= 2; size >>= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			k := 0
+			for i := start; i < start+half; i++ {
+				a := x[i]
+				b := x[i+half]
+				x[i] = a + b
+				x[i+half] = (a - b) * tw[k]
+				k += step
+			}
+		}
+	}
+	// DIF leaves results bit-reversed; restore natural order.
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+}
+
+// DFTNaive computes the O(n²) discrete Fourier transform, used as the
+// oracle in tests. inverse selects the inverse transform with 1/n
+// scaling.
+func DFTNaive(x []complex64, inverse bool) []complex64 {
+	n := len(x)
+	out := make([]complex64, n)
+	sign := -2 * math.Pi / float64(n)
+	if inverse {
+		sign = -sign
+	}
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for t := 0; t < n; t++ {
+			s, c := math.Sincos(sign * float64(k) * float64(t))
+			acc += complex128(x[t]) * complex(c, s)
+		}
+		if inverse {
+			acc /= complex(float64(n), 0)
+		}
+		out[k] = complex64(acc)
+	}
+	return out
+}

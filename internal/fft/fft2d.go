@@ -1,0 +1,145 @@
+package fft
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Plan2D performs square 2-D transforms of size n×n by applying the 1-D
+// plan along rows and then columns. Convolution pads both extents to
+// the same power of two, so only the square case is needed.
+type Plan2D struct {
+	n    int
+	plan *Plan
+}
+
+// NewPlan2D builds a 2-D plan of size n×n (n must be a power of two).
+func NewPlan2D(n int) *Plan2D {
+	return &Plan2D{n: n, plan: NewPlan(n)}
+}
+
+// N returns the per-axis transform size.
+func (p *Plan2D) N() int { return p.n }
+
+// Forward transforms x (row-major, length n*n) in place.
+func (p *Plan2D) Forward(x []complex64) { p.apply(x, (*Plan).Forward) }
+
+// Inverse inverse-transforms x in place, including full 1/n² scaling.
+func (p *Plan2D) Inverse(x []complex64) { p.apply(x, (*Plan).Inverse) }
+
+func (p *Plan2D) apply(x []complex64, f func(*Plan, []complex64)) {
+	n := p.n
+	if len(x) != n*n {
+		panic(fmt.Sprintf("fft: 2-D input length %d does not match %d×%d", len(x), n, n))
+	}
+	// Rows.
+	for r := 0; r < n; r++ {
+		f(p.plan, x[r*n:(r+1)*n])
+	}
+	// Columns via gather/scatter through a scratch buffer.
+	col := make([]complex64, n)
+	for c := 0; c < n; c++ {
+		for r := 0; r < n; r++ {
+			col[r] = x[r*n+c]
+		}
+		f(p.plan, col)
+		for r := 0; r < n; r++ {
+			x[r*n+c] = col[r]
+		}
+	}
+}
+
+// ForwardReal transforms a real-valued h×w image zero-padded into an
+// n×n complex grid and returns the frequency-domain grid. This is the
+// padding step that inflates FFT-convolution memory usage: the filter
+// (k×k) and the image (i×i) are both padded to the same n×n extent.
+func (p *Plan2D) ForwardReal(img []float32, h, w int) []complex64 {
+	n := p.n
+	if h > n || w > n {
+		panic(fmt.Sprintf("fft: real input %dx%d exceeds plan size %d", h, w, n))
+	}
+	grid := make([]complex64, n*n)
+	for r := 0; r < h; r++ {
+		src := img[r*w : (r+1)*w]
+		dst := grid[r*n:]
+		for c, v := range src {
+			dst[c] = complex(v, 0)
+		}
+	}
+	p.Forward(grid)
+	return grid
+}
+
+// InverseRealInto inverse-transforms grid in place and writes the real
+// parts of the top-left h×w corner (offset by offH/offW) into out.
+func (p *Plan2D) InverseRealInto(grid []complex64, out []float32, h, w, offH, offW int) {
+	n := p.n
+	p.Inverse(grid)
+	for r := 0; r < h; r++ {
+		src := grid[(r+offH)*n:]
+		dst := out[r*w : (r+1)*w]
+		for c := range dst {
+			dst[c] = real(src[c+offW])
+		}
+	}
+}
+
+// BatchForwardReal transforms count images in parallel. images[i] must
+// be an h×w real image; the result slice holds count frequency grids.
+func (p *Plan2D) BatchForwardReal(images [][]float32, h, w int) [][]complex64 {
+	out := make([][]complex64, len(images))
+	parallelFor(len(images), func(i int) {
+		out[i] = p.ForwardReal(images[i], h, w)
+	})
+	return out
+}
+
+// parallelFor runs f(i) for i in [0,n) across GOMAXPROCS goroutines.
+func parallelFor(n int, f func(int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// FLOPs1D returns the approximate real-flop cost of one length-n
+// radix-2 transform: 5 n log2(n) (the standard split-radix-free count).
+func FLOPs1D(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	log2 := 0
+	for m := n; m > 1; m >>= 1 {
+		log2++
+	}
+	return 5 * float64(n) * float64(log2)
+}
+
+// FLOPs2D returns the approximate real-flop cost of one n×n transform
+// (2n row/column transforms of length n).
+func FLOPs2D(n int) float64 {
+	return 2 * float64(n) * FLOPs1D(n)
+}

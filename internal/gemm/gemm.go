@@ -1,0 +1,210 @@
+// Package gemm implements single-precision and complex general
+// matrix-matrix multiplication. It is the arithmetic core of the
+// unrolling-based convolution engines (which lower convolution to a
+// single SGEMM, the way Caffe/Torch-cunn/Theano-CorrMM call cuBLAS) and
+// of the FFT engines' frequency-domain CGEMM.
+//
+// Three tiers are provided:
+//
+//   - Naive: the textbook triple loop, used as the correctness oracle.
+//   - Blocked: cache-blocked serial kernel.
+//   - Parallel: the blocked kernel fanned out over goroutines; this is
+//     the tier the convolution engines call.
+package gemm
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// blockM/blockN/blockK are the cache-block extents of the serial kernel.
+// They are sized so one block of A (blockM×blockK) plus one block of B
+// (blockK×blockN) fits comfortably in L1/L2.
+const (
+	blockM = 64
+	blockN = 64
+	blockK = 64
+)
+
+// Naive computes C = alpha*A*B + beta*C with A (m×k), B (k×n), C (m×n),
+// all row-major. It is O(mnk) with no blocking and exists as the oracle
+// against which the optimised kernels are tested.
+func Naive(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
+	checkDims(len(a), len(b), len(c), m, n, k)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for p := 0; p < k; p++ {
+				acc += a[i*k+p] * b[p*n+j]
+			}
+			c[i*n+j] = alpha*acc + beta*c[i*n+j]
+		}
+	}
+}
+
+// Blocked computes C = alpha*A*B + beta*C using cache blocking. It walks
+// the k dimension in panels so each A/B panel is reused across a full
+// block of C.
+func Blocked(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
+	checkDims(len(a), len(b), len(c), m, n, k)
+	scaleRows(beta, c, 0, m, n)
+	for i0 := 0; i0 < m; i0 += blockM {
+		i1 := min(i0+blockM, m)
+		blockedRows(alpha, a, b, c, i0, i1, m, n, k)
+	}
+}
+
+// blockedRows multiplies the row stripe [i0,i1) of A into C. It is the
+// unit of work handed to each goroutine by Parallel, so rows of C are
+// owned by exactly one worker and no synchronisation on C is needed.
+func blockedRows(alpha float32, a, b, c []float32, i0, i1, m, n, k int) {
+	for p0 := 0; p0 < k; p0 += blockK {
+		p1 := min(p0+blockK, k)
+		for j0 := 0; j0 < n; j0 += blockN {
+			j1 := min(j0+blockN, n)
+			for i := i0; i < i1; i++ {
+				arow := a[i*k:]
+				crow := c[i*n:]
+				for p := p0; p < p1; p++ {
+					av := alpha * arow[p]
+					if av == 0 {
+						continue
+					}
+					brow := b[p*n:]
+					for j := j0; j < j1; j++ {
+						crow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// Parallel computes C = alpha*A*B + beta*C, splitting row stripes of C
+// across GOMAXPROCS goroutines. Small problems fall through to the
+// serial blocked kernel to avoid spawn overhead.
+func Parallel(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
+	checkDims(len(a), len(b), len(c), m, n, k)
+	workers := runtime.GOMAXPROCS(0)
+	// Under ~2 MFLOP the goroutine fan-out costs more than it saves.
+	if workers == 1 || m*n*k < 1<<20 {
+		Blocked(alpha, a, b, beta, c, m, n, k)
+		return
+	}
+	scaleRows(beta, c, 0, m, n)
+	stripes := (m + blockM - 1) / blockM
+	if stripes > workers*4 {
+		stripes = workers * 4
+	}
+	rowsPer := (m + stripes - 1) / stripes
+	var wg sync.WaitGroup
+	for i0 := 0; i0 < m; i0 += rowsPer {
+		i1 := min(i0+rowsPer, m)
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			blockedRows(alpha, a, b, c, i0, i1, m, n, k)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// NT computes C = alpha*A*Bᵀ + beta*C where A is m×k and B is n×k,
+// both row-major. This is the backward-filter GEMM shape.
+func NT(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
+	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
+		panic(fmt.Sprintf("gemm: NT buffer too small for m=%d n=%d k=%d", m, n, k))
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n:]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			var acc float32
+			for p := 0; p < k; p++ {
+				acc += arow[p] * brow[p]
+			}
+			crow[j] = alpha*acc + beta*crow[j]
+		}
+	}
+}
+
+// TN computes C = alpha*Aᵀ*B + beta*C where A is k×m and B is k×n,
+// both row-major. This is the backward-data GEMM shape.
+func TN(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
+	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
+		panic(fmt.Sprintf("gemm: TN buffer too small for m=%d n=%d k=%d", m, n, k))
+	}
+	scaleRows(beta, c, 0, m, n)
+	for p := 0; p < k; p++ {
+		arow := a[p*m:]
+		brow := b[p*n:]
+		for i := 0; i < m; i++ {
+			av := alpha * arow[i]
+			if av == 0 {
+				continue
+			}
+			crow := c[i*n:]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// ParallelNT is NT with row stripes of C fanned out over goroutines.
+func ParallelNT(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers == 1 || m*n*k < 1<<20 || m < 2 {
+		NT(alpha, a, b, beta, c, m, n, k)
+		return
+	}
+	rowsPer := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for i0 := 0; i0 < m; i0 += rowsPer {
+		i1 := min(i0+rowsPer, m)
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			NT(alpha, a[i0*k:], b, beta, c[i0*n:], i1-i0, n, k)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// FLOPs returns the floating-point operation count of an m×n×k GEMM
+// (one multiply plus one add per inner-loop step).
+func FLOPs(m, n, k int) float64 {
+	return 2 * float64(m) * float64(n) * float64(k)
+}
+
+func scaleRows(beta float32, c []float32, i0, i1, n int) {
+	if beta == 1 {
+		return
+	}
+	seg := c[i0*n : i1*n]
+	if beta == 0 {
+		for i := range seg {
+			seg[i] = 0
+		}
+		return
+	}
+	for i := range seg {
+		seg[i] *= beta
+	}
+}
+
+func checkDims(la, lb, lc, m, n, k int) {
+	if la < m*k || lb < k*n || lc < m*n {
+		panic(fmt.Sprintf("gemm: buffers too small for m=%d n=%d k=%d (a=%d b=%d c=%d)",
+			m, n, k, la, lb, lc))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

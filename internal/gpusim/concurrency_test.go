@@ -1,0 +1,101 @@
+package gpusim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDeviceConcurrentLaunches: the device must tolerate concurrent
+// launches (the nn framework's parallel branches can race on it) and
+// account every one.
+func TestDeviceConcurrentLaunches(t *testing.T) {
+	d := New(TeslaK40c())
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				d.MustLaunch(testKernel("k", 1e8))
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Launches() != workers*per {
+		t.Fatalf("launches = %d, want %d", d.Launches(), workers*per)
+	}
+	one, _ := TeslaK40c().simulate(testKernel("k", 1e8).withDefaults())
+	want := time.Duration(workers*per) * one.Duration
+	if diff := d.KernelTime() - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("kernel time %v, want %v", d.KernelTime(), want)
+	}
+}
+
+// TestMemTrackerConcurrentAllocFree: racing allocations must never
+// corrupt the accounting.
+func TestMemTrackerConcurrentAllocFree(t *testing.T) {
+	m := NewMemTracker(1 << 30)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b, err := m.Alloc(1<<16, "t")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				b.Free()
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Used() != 0 {
+		t.Fatalf("used = %d after all frees", m.Used())
+	}
+	if m.AllocCount() != 800 {
+		t.Fatalf("alloc count = %d", m.AllocCount())
+	}
+}
+
+// TestProfilerConcurrentRecords: concurrent Record calls accumulate
+// exactly.
+func TestProfilerConcurrentRecords(t *testing.T) {
+	p := NewProfiler()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.Record("k", Metrics{Duration: time.Microsecond})
+			}
+		}()
+	}
+	wg.Wait()
+	ks := p.Kernels()
+	if len(ks) != 1 || ks[0].Launches != 800 {
+		t.Fatalf("kernels = %+v", ks)
+	}
+	if p.TotalTime() != 800*time.Microsecond {
+		t.Fatalf("total = %v", p.TotalTime())
+	}
+}
+
+// TestTitanXSpec sanity: the Maxwell part must be strictly faster on
+// paper in peak flops and bandwidth.
+func TestTitanXSpec(t *testing.T) {
+	k40, titan := TeslaK40c(), TitanXMaxwell()
+	if titan.PeakGFLOPS() <= k40.PeakGFLOPS() {
+		t.Fatalf("Titan X peak %v should exceed K40c %v", titan.PeakGFLOPS(), k40.PeakGFLOPS())
+	}
+	if titan.MemBandwidthGBps <= k40.MemBandwidthGBps {
+		t.Fatal("Titan X bandwidth should exceed K40c")
+	}
+	if titan.SharedMemPerSM != 96*1024 {
+		t.Fatalf("Maxwell shared pool = %d", titan.SharedMemPerSM)
+	}
+}

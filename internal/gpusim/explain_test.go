@@ -1,0 +1,86 @@
+package gpusim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainComputeBoundKernel(t *testing.T) {
+	spec := TeslaK40c()
+	ex, err := spec.Explain(KernelSpec{
+		Name: "gemm", Grid: Dim3{X: 4096}, Block: Dim3{X: 256},
+		RegsPerThread: 32, FLOPs: 1e10, ILP: 3,
+		UsesShared: true, SharedPerBlock: 8 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Bound != "compute" {
+		t.Fatalf("pure-flops kernel classified %s", ex.Bound)
+	}
+	if ex.SustainedGF <= 0 || ex.SustainedGF > spec.PeakGFLOPS() {
+		t.Fatalf("sustained %v GFLOP/s out of range", ex.SustainedGF)
+	}
+	out := ex.String()
+	for _, want := range []string{"gemm", "compute-bound", "occupancy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explanation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainMemoryBoundKernel(t *testing.T) {
+	ex, err := TeslaK40c().Explain(KernelSpec{
+		Name: "copy", Grid: Dim3{X: 4096}, Block: Dim3{X: 256},
+		RegsPerThread: 16, FLOPs: 1e6,
+		GlobalLoadBytes: 2e9, GlobalStoreBytes: 2e9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Bound != "memory" {
+		t.Fatalf("streaming copy classified %s", ex.Bound)
+	}
+	if ex.EffectiveBWGB <= 0 || ex.EffectiveBWGB > TeslaK40c().MemBandwidthGBps {
+		t.Fatalf("bandwidth %v GB/s out of range", ex.EffectiveBWGB)
+	}
+}
+
+func TestExplainNotes(t *testing.T) {
+	spec := TeslaK40c()
+	// Register-starved kernel with bad coalescing and divergence: every
+	// advisory note should fire.
+	ex, err := spec.Explain(KernelSpec{
+		Name: "bad", Grid: Dim3{X: 1024}, Block: Dim3{X: 256},
+		RegsPerThread: 200, FLOPs: 1e9,
+		GlobalLoadBytes: 1e8, LoadTransPerReq: 6,
+		UsesShared: true, SharedPerBlock: 8 << 10, BankConflictRate: 2,
+		ActiveThreadFrac: 0.7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(ex.Notes, "\n")
+	for _, want := range []string{"register-limited", "replay", "bank conflicts", "divergent"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("notes missing %q:\n%s", want, joined)
+		}
+	}
+	// A clean kernel gets the no-inefficiency note.
+	clean, err := spec.Explain(KernelSpec{
+		Name: "clean", Grid: Dim3{X: 4096}, Block: Dim3{X: 256},
+		RegsPerThread: 32, FLOPs: 1e9, ILP: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(clean.Notes, "\n"), "no first-order inefficiency") {
+		t.Fatalf("clean kernel notes: %v", clean.Notes)
+	}
+}
+
+func TestExplainRejectsBadLaunch(t *testing.T) {
+	if _, err := TeslaK40c().Explain(KernelSpec{Name: "x", Block: Dim3{X: 4096}}); err == nil {
+		t.Fatal("oversized block should error")
+	}
+}

@@ -1,0 +1,135 @@
+package gpusim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// OOMError is returned when a device allocation exceeds the remaining
+// device memory — the failure mode the paper observed with fbfft's
+// "abnormal memory usage" leading to crashes.
+type OOMError struct {
+	Requested int64
+	Free      int64
+	Total     int64
+}
+
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("gpusim: out of device memory: requested %d B, free %d B of %d B",
+		e.Requested, e.Free, e.Total)
+}
+
+// Buffer is a device-memory allocation handle.
+type Buffer struct {
+	Tag   string
+	Size  int64 // requested size
+	alloc int64 // size after alignment
+	freed bool
+	owner *MemTracker
+}
+
+// Free releases the buffer. Freeing twice is a no-op.
+func (b *Buffer) Free() {
+	if b == nil || b.freed {
+		return
+	}
+	b.freed = true
+	b.owner.release(b.alloc)
+}
+
+// MemTracker is the device-memory accountant: it plays the role
+// nvidia-smi played in the paper, tracking live and peak bytes, and
+// enforces the 12 GB capacity of the K40c.
+type MemTracker struct {
+	mu       sync.Mutex
+	total    int64
+	used     int64
+	peak     int64
+	byTag    map[string]int64
+	allocCnt int64
+}
+
+// NewMemTracker creates a tracker for a device with the given capacity.
+func NewMemTracker(total int64) *MemTracker {
+	return &MemTracker{total: total, byTag: make(map[string]int64)}
+}
+
+const allocAlign = 256 // CUDA allocations are 256-byte aligned
+
+// Alloc reserves size bytes (rounded up to the allocation alignment)
+// under the given tag. It returns an OOMError if the device is full.
+func (m *MemTracker) Alloc(size int64, tag string) (*Buffer, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("gpusim: negative allocation %d", size)
+	}
+	aligned := (size + allocAlign - 1) / allocAlign * allocAlign
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.used+aligned > m.total {
+		return nil, &OOMError{Requested: aligned, Free: m.total - m.used, Total: m.total}
+	}
+	m.used += aligned
+	if m.used > m.peak {
+		m.peak = m.used
+	}
+	m.byTag[tag] += aligned
+	m.allocCnt++
+	return &Buffer{Tag: tag, Size: size, alloc: aligned, owner: m}, nil
+}
+
+func (m *MemTracker) release(aligned int64) {
+	m.mu.Lock()
+	m.used -= aligned
+	m.mu.Unlock()
+}
+
+// Used returns the live allocation total in bytes.
+func (m *MemTracker) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Peak returns the high-water mark in bytes since the last ResetPeak.
+func (m *MemTracker) Peak() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+// Total returns device capacity in bytes.
+func (m *MemTracker) Total() int64 { return m.total }
+
+// ResetPeak sets the high-water mark to the current live total.
+func (m *MemTracker) ResetPeak() {
+	m.mu.Lock()
+	m.peak = m.used
+	m.mu.Unlock()
+}
+
+// AllocCount returns the number of allocations performed.
+func (m *MemTracker) AllocCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.allocCnt
+}
+
+// TagTotal returns cumulative bytes ever allocated under a tag.
+func (m *MemTracker) TagTotal(tag string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byTag[tag]
+}
+
+// Tags returns all allocation tags in sorted order.
+func (m *MemTracker) Tags() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tags := make([]string, 0, len(m.byTag))
+	for t := range m.byTag {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return tags
+}

@@ -1,0 +1,163 @@
+package gpusim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPeakGFLOPS(t *testing.T) {
+	// 15 SMs × 192 cores × 2 flops × 745 MHz = 4291.2 GFLOPS (the
+	// paper's "4.29 TFLOPS").
+	got := TeslaK40c().PeakGFLOPS()
+	if got < 4291 || got > 4292 {
+		t.Fatalf("PeakGFLOPS = %v, want ~4291.2", got)
+	}
+}
+
+func TestOccupancyUnlimitedKernel(t *testing.T) {
+	// 256 threads, few registers, no shared memory: warp-limited at
+	// 100% occupancy (8 blocks × 8 warps = 64 warps).
+	s := TeslaK40c()
+	occ, err := s.ComputeOccupancy(256, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.Theoretical != 1.0 {
+		t.Fatalf("occupancy = %v, want 1.0 (limited by %s)", occ.Theoretical, occ.LimitedBy)
+	}
+	if occ.BlocksPerSM != 8 {
+		t.Fatalf("blocks/SM = %d, want 8", occ.BlocksPerSM)
+	}
+}
+
+// TestOccupancyCudaConvnet2Registers reproduces the paper's Section
+// V.C.1 analysis: with 116 registers per thread the K40c can keep only
+// 17 warps (≈544–564 threads) resident per SM, a ~27% ceiling that
+// explains cuda-convnet2's 14–22% achieved occupancy.
+func TestOccupancyCudaConvnet2Registers(t *testing.T) {
+	s := TeslaK40c()
+	occ, err := s.ComputeOccupancy(256, 116, 16*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.ActiveWarps < 12 || occ.ActiveWarps > 17 {
+		t.Fatalf("active warps = %d, want ≈17 (paper's register-pressure analysis)", occ.ActiveWarps)
+	}
+	if occ.LimitedBy != "registers" {
+		t.Fatalf("limited by %s, want registers", occ.LimitedBy)
+	}
+	if occ.Theoretical > 0.30 {
+		t.Fatalf("theoretical occupancy %v too high for 116 regs/thread", occ.Theoretical)
+	}
+}
+
+func TestOccupancySharedLimited(t *testing.T) {
+	s := TeslaK40c()
+	// 24 KB of shared memory per block allows only 2 resident blocks.
+	occ, err := s.ComputeOccupancy(64, 16, 24*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.BlocksPerSM != 2 || occ.LimitedBy != "shared" {
+		t.Fatalf("blocks=%d limitedBy=%s, want 2 blocks limited by shared", occ.BlocksPerSM, occ.LimitedBy)
+	}
+}
+
+func TestOccupancyBlockSlotLimited(t *testing.T) {
+	s := TeslaK40c()
+	// Tiny blocks: 32 threads each, 16-block slot limit binds first.
+	occ, err := s.ComputeOccupancy(32, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.BlocksPerSM != 16 || occ.LimitedBy != "blocks" {
+		t.Fatalf("blocks=%d limitedBy=%s, want 16/blocks", occ.BlocksPerSM, occ.LimitedBy)
+	}
+	if occ.ActiveWarps != 16 {
+		t.Fatalf("active warps = %d, want 16", occ.ActiveWarps)
+	}
+}
+
+func TestOccupancyErrors(t *testing.T) {
+	s := TeslaK40c()
+	if _, err := s.ComputeOccupancy(0, 16, 0); err == nil {
+		t.Error("zero block size should error")
+	}
+	if _, err := s.ComputeOccupancy(2048, 16, 0); err == nil {
+		t.Error("block size above 1024 should error")
+	}
+	if _, err := s.ComputeOccupancy(256, 300, 0); err == nil {
+		t.Error("register count above limit should error")
+	}
+	if _, err := s.ComputeOccupancy(256, 16, 64*1024); err == nil {
+		t.Error("shared memory above per-block limit should error")
+	}
+}
+
+func TestOccupancyInvariants(t *testing.T) {
+	s := TeslaK40c()
+	f := func(seed uint64) bool {
+		// Draw a random valid launch config.
+		threads := 32 * (1 + int(seed%32))
+		regs := int(seed/32%200) + 2
+		smem := int(seed / 7 % 48000)
+		occ, err := s.ComputeOccupancy(threads, regs, smem)
+		if err != nil {
+			// Resource-starved configs may legitimately not fit.
+			return true
+		}
+		if occ.Theoretical <= 0 || occ.Theoretical > 1 {
+			return false
+		}
+		if occ.ActiveWarps > s.MaxWarpsPerSM || occ.ActiveThreads > s.MaxThreadsPerSM {
+			return false
+		}
+		if occ.BlocksPerSM < 1 || occ.BlocksPerSM > s.MaxBlocksPerSM {
+			return false
+		}
+		// Register accounting must fit in the register file.
+		if occ.RegsPerBlock*occ.BlocksPerSM > s.RegistersPerSM {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOccupancyMonotonicInRegisters: increasing register pressure never
+// increases occupancy.
+func TestOccupancyMonotonicInRegisters(t *testing.T) {
+	s := TeslaK40c()
+	prev := 2.0
+	for regs := 8; regs <= 255; regs += 4 {
+		occ, err := s.ComputeOccupancy(256, regs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if occ.Theoretical > prev {
+			t.Fatalf("occupancy rose from %v to %v at %d regs", prev, occ.Theoretical, regs)
+		}
+		prev = occ.Theoretical
+	}
+}
+
+func TestLatencyHidingCurve(t *testing.T) {
+	if latencyHiding(0) != 0 {
+		t.Fatal("zero occupancy must hide nothing")
+	}
+	if latencyHiding(1.0) <= latencyHiding(0.1) {
+		t.Fatal("latency hiding must increase with occupancy")
+	}
+	if latencyHiding(1.0) > 1.0 {
+		t.Fatal("latency hiding cannot exceed 1")
+	}
+	// Saturation: the marginal gain from 50%→100% must be much smaller
+	// than from 5%→50%.
+	lo := latencyHiding(0.5) - latencyHiding(0.05)
+	hi := latencyHiding(1.0) - latencyHiding(0.5)
+	if hi >= lo {
+		t.Fatal("latency-hiding curve should saturate")
+	}
+}

@@ -1,0 +1,146 @@
+package gpusim
+
+import (
+	"testing"
+	"time"
+)
+
+func chainTasks(n int) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{Kernel: testKernel("k", 1e9)}
+		if i > 0 {
+			tasks[i].Deps = []int{i - 1}
+		}
+	}
+	return tasks
+}
+
+func independentTasks(n int) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{Kernel: testKernel("k", 1e9)}
+	}
+	return tasks
+}
+
+func TestScheduleChainIsSerial(t *testing.T) {
+	d := New(TeslaK40c())
+	res, err := d.Schedule(chainTasks(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pure chain cannot benefit from extra streams.
+	if res.Makespan != res.SerialTime {
+		t.Fatalf("chain makespan %v != serial %v", res.Makespan, res.SerialTime)
+	}
+	if res.CriticalPath != res.SerialTime {
+		t.Fatalf("chain critical path %v != serial %v", res.CriticalPath, res.SerialTime)
+	}
+	if res.Speedup() < 0.999 || res.Speedup() > 1.001 {
+		t.Fatalf("chain speedup %v", res.Speedup())
+	}
+}
+
+func TestScheduleIndependentTasksOverlap(t *testing.T) {
+	d := New(TeslaK40c())
+	res, err := d.Schedule(independentTasks(4), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, _ := TeslaK40c().simulate(testKernel("k", 1e9).withDefaults())
+	if res.Makespan != one.Duration {
+		t.Fatalf("4 independent tasks on 4 streams: makespan %v, want %v", res.Makespan, one.Duration)
+	}
+	if s := res.Speedup(); s < 3.99 || s > 4.01 {
+		t.Fatalf("speedup %v, want 4", s)
+	}
+	// On 2 streams the same work takes two rounds.
+	res2, _ := d.Schedule(independentTasks(4), 2)
+	if res2.Makespan != 2*one.Duration {
+		t.Fatalf("2-stream makespan %v, want %v", res2.Makespan, 2*one.Duration)
+	}
+}
+
+func TestScheduleDiamondDAG(t *testing.T) {
+	// 0 -> {1, 2} -> 3: with 2 streams, 1 and 2 overlap.
+	d := New(TeslaK40c())
+	tasks := []Task{
+		{Kernel: testKernel("a", 1e9)},
+		{Kernel: testKernel("b", 1e9), Deps: []int{0}},
+		{Kernel: testKernel("c", 1e9), Deps: []int{0}},
+		{Kernel: testKernel("d", 1e9), Deps: []int{1, 2}},
+	}
+	res, err := d.Schedule(tasks, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, _ := TeslaK40c().simulate(testKernel("a", 1e9).withDefaults())
+	if res.Makespan != 3*one.Duration {
+		t.Fatalf("diamond makespan %v, want 3 kernels worth (%v)", res.Makespan, 3*one.Duration)
+	}
+	if res.CriticalPath != 3*one.Duration {
+		t.Fatalf("diamond critical path %v", res.CriticalPath)
+	}
+	// Tasks 1 and 2 must start simultaneously on different streams.
+	if res.Starts[1] != res.Starts[2] || res.Streams[1] == res.Streams[2] {
+		t.Fatalf("middle tasks should overlap: starts %v/%v streams %d/%d",
+			res.Starts[1], res.Starts[2], res.Streams[1], res.Streams[2])
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	d := New(TeslaK40c())
+	if _, err := d.Schedule(chainTasks(2), 0); err == nil {
+		t.Error("zero streams should error")
+	}
+	bad := []Task{{Kernel: testKernel("k", 1), Deps: []int{5}}}
+	if _, err := d.Schedule(bad, 1); err == nil {
+		t.Error("out-of-range dep should error")
+	}
+	forward := []Task{
+		{Kernel: testKernel("k", 1), Deps: []int{1}},
+		{Kernel: testKernel("k", 1)},
+	}
+	if _, err := d.Schedule(forward, 1); err == nil {
+		t.Error("forward dep should error")
+	}
+}
+
+func TestScheduleMakespanBounds(t *testing.T) {
+	// Makespan always sits between the critical path and serial time.
+	d := New(TeslaK40c())
+	tasks := []Task{
+		{Kernel: testKernel("a", 2e9)},
+		{Kernel: testKernel("b", 1e9)},
+		{Kernel: testKernel("c", 3e9), Deps: []int{0}},
+		{Kernel: testKernel("d", 1e9), Deps: []int{1}},
+		{Kernel: testKernel("e", 1e9), Deps: []int{2, 3}},
+	}
+	for _, streams := range []int{1, 2, 3} {
+		res, err := d.Schedule(tasks, streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan < res.CriticalPath || res.Makespan > res.SerialTime {
+			t.Fatalf("streams=%d: makespan %v outside [%v, %v]",
+				streams, res.Makespan, res.CriticalPath, res.SerialTime)
+		}
+		if streams == 1 && res.Makespan != res.SerialTime {
+			t.Fatalf("1 stream must serialise: %v vs %v", res.Makespan, res.SerialTime)
+		}
+	}
+}
+
+// TestScheduleZeroDurationFloor: even tiny kernels pay the launch
+// overhead, so makespan is never zero.
+func TestScheduleZeroDurationFloor(t *testing.T) {
+	d := New(TeslaK40c())
+	res, err := d.Schedule([]Task{{Kernel: testKernel("tiny", 1)}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan < time.Duration(TeslaK40c().KernelLaunchOverheadNs) {
+		t.Fatalf("makespan %v below the launch-overhead floor", res.Makespan)
+	}
+}

@@ -1,0 +1,123 @@
+// Package gpusim models a CUDA GPU well enough to reproduce the
+// architectural effects the paper's measurements hinge on: occupancy
+// limited by register and shared-memory pressure, global-memory
+// coalescing, shared-memory bank conflicts, warp divergence, latency
+// hiding as a function of resident warps, device-memory capacity, and
+// PCIe transfer cost. It exposes an nvprof-style profiler and an
+// nvidia-smi-style peak-memory tracker.
+//
+// The model is analytical: a kernel launch is characterised by its
+// launch configuration, resource usage, and work volume; the simulator
+// computes its achieved occupancy and efficiency metrics, derives a
+// duration, advances a simulated clock, and records per-kernel
+// statistics. No real GPU is involved anywhere.
+package gpusim
+
+// DeviceSpec captures the architectural parameters of a GPU.
+type DeviceSpec struct {
+	Name string
+
+	// Compute resources.
+	SMs          int     // streaming multiprocessors
+	CoresPerSM   int     // CUDA cores per SM
+	ClockMHz     float64 // core clock
+	FLOPsPerCore int     // FMA = 2 flops per cycle per core
+
+	// Per-SM scheduling limits.
+	WarpSize           int
+	MaxWarpsPerSM      int
+	MaxThreadsPerSM    int
+	MaxBlocksPerSM     int
+	MaxThreadsPerBlock int
+
+	// Per-SM storage resources.
+	RegistersPerSM    int // 32-bit registers
+	MaxRegsPerThread  int
+	SharedMemPerSM    int // bytes
+	SharedMemPerBlock int // bytes
+
+	// Allocation granularities (CUDA occupancy calculator rules).
+	RegAllocUnit  int // registers are allocated per warp in this granularity
+	SmemAllocUnit int // shared memory allocation granularity in bytes
+
+	// Memory system.
+	GlobalMemBytes   int64
+	MemBandwidthGBps float64
+	// PCIe bandwidths in GB/s. Pinned (page-locked) host memory
+	// transfers faster than pageable memory.
+	PCIePinnedGBps   float64
+	PCIePageableGBps float64
+
+	// Modelled overheads.
+	KernelLaunchOverheadNs float64
+	TransferLatencyNs      float64
+}
+
+// PeakGFLOPS returns the single-precision peak in GFLOP/s.
+func (s DeviceSpec) PeakGFLOPS() float64 {
+	return float64(s.SMs) * float64(s.CoresPerSM) * float64(s.FLOPsPerCore) * s.ClockMHz / 1e3
+}
+
+// TitanXMaxwell returns the specification of the GeForce GTX Titan X
+// (Maxwell, 2015) — the generation that followed the paper's K40c.
+// Included for cross-architecture ablations: more SMs with smaller
+// warp-scheduler pressure, twice the per-SM shared memory, higher
+// clock and bandwidth. Rerunning the paper's sweeps on this spec shows
+// which conclusions are architectural and which are universal.
+func TitanXMaxwell() DeviceSpec {
+	return DeviceSpec{
+		Name:                   "GTX Titan X (Maxwell)",
+		SMs:                    24,
+		CoresPerSM:             128,
+		ClockMHz:               1000,
+		FLOPsPerCore:           2,
+		WarpSize:               32,
+		MaxWarpsPerSM:          64,
+		MaxThreadsPerSM:        2048,
+		MaxBlocksPerSM:         32,
+		MaxThreadsPerBlock:     1024,
+		RegistersPerSM:         65536,
+		MaxRegsPerThread:       255,
+		SharedMemPerSM:         96 * 1024,
+		SharedMemPerBlock:      48 * 1024,
+		RegAllocUnit:           256,
+		SmemAllocUnit:          256,
+		GlobalMemBytes:         12 << 30,
+		MemBandwidthGBps:       336,
+		PCIePinnedGBps:         11.5,
+		PCIePageableGBps:       4.5,
+		KernelLaunchOverheadNs: 4000,
+		TransferLatencyNs:      9000,
+	}
+}
+
+// TeslaK40c returns the specification of the card used in the paper:
+// 15 SMs × 192 cores at 745 MHz (4.29 TFLOPS single precision), 12 GB
+// of device memory at 288 GB/s, 64K registers and 48 KB shared memory
+// per SM.
+func TeslaK40c() DeviceSpec {
+	return DeviceSpec{
+		Name:                   "Tesla K40c",
+		SMs:                    15,
+		CoresPerSM:             192,
+		ClockMHz:               745,
+		FLOPsPerCore:           2,
+		WarpSize:               32,
+		MaxWarpsPerSM:          64,
+		MaxThreadsPerSM:        2048,
+		MaxBlocksPerSM:         16,
+		MaxThreadsPerBlock:     1024,
+		RegistersPerSM:         65536,
+		MaxRegsPerThread:       255,
+		SharedMemPerSM:         48 * 1024,
+		SharedMemPerBlock:      48 * 1024,
+		RegAllocUnit:           256,
+		SmemAllocUnit:          256,
+		GlobalMemBytes:         12 << 30,
+		MemBandwidthGBps:       288,
+		PCIePinnedGBps:         10.5,
+		PCIePageableGBps:       4.0,
+		KernelLaunchOverheadNs: 5000,
+		TransferLatencyNs:      10000,
+	}
+}

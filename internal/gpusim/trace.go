@@ -1,0 +1,95 @@
+package gpusim
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one simulated-timeline entry: a kernel execution or a
+// host↔device transfer, positioned at its simulated start time.
+type TraceEvent struct {
+	Name     string
+	Category string // "kernel" or "transfer"
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// Trace records the device's simulated timeline for visualisation. It
+// is enabled per device with EnableTrace and rendered with WriteChrome
+// into the Chrome trace-event format (chrome://tracing, Perfetto).
+type Trace struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// EnableTrace attaches a timeline recorder to the device and returns
+// it. Subsequent launches and copies are recorded at their simulated
+// start offsets.
+func (d *Device) EnableTrace() *Trace {
+	t := &Trace{}
+	d.mu.Lock()
+	d.trace = t
+	d.mu.Unlock()
+	return t
+}
+
+func (t *Trace) add(e TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded timeline.
+func (t *Trace) Events() []TraceEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// chromeEvent is the Chrome trace-event JSON schema ("X" = complete
+// event with timestamp and duration in microseconds).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// WriteChrome renders the timeline as a Chrome trace-event JSON array,
+// loadable in chrome://tracing or https://ui.perfetto.dev. Kernels and
+// transfers land on separate tracks.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	t.mu.Lock()
+	events := append([]TraceEvent(nil), t.events...)
+	t.mu.Unlock()
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		tid := 1
+		if e.Category == "transfer" {
+			tid = 2
+		}
+		out = append(out, chromeEvent{
+			Name: e.Name,
+			Cat:  e.Category,
+			Ph:   "X",
+			Ts:   float64(e.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(e.Duration.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  tid,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,65 @@
+package gpusim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestTraceRecordsLaunchesAndCopies(t *testing.T) {
+	d := New(TeslaK40c())
+	tr := d.EnableTrace()
+	d.MustLaunch(testKernel("k1", 1e9))
+	d.Copy(Transfer{Bytes: 1 << 20})
+	d.MustLaunch(testKernel("k2", 1e9))
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("recorded %d events, want 3", len(events))
+	}
+	if events[0].Name != "k1" || events[0].Category != "kernel" || events[0].Start != 0 {
+		t.Fatalf("first event wrong: %+v", events[0])
+	}
+	if events[1].Category != "transfer" {
+		t.Fatalf("second event should be a transfer: %+v", events[1])
+	}
+	// Events must be laid out back to back on the simulated timeline.
+	if events[1].Start != events[0].Duration {
+		t.Fatalf("transfer start %v, want %v", events[1].Start, events[0].Duration)
+	}
+	if events[2].Start != events[0].Duration+events[1].Duration {
+		t.Fatalf("k2 start %v misplaced", events[2].Start)
+	}
+}
+
+func TestTraceChromeJSON(t *testing.T) {
+	d := New(TeslaK40c())
+	tr := d.EnableTrace()
+	d.MustLaunch(testKernel("sgemm", 1e9))
+	d.Copy(Transfer{Bytes: 1 << 20, Async: true})
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("%d chrome events", len(events))
+	}
+	if events[0]["name"] != "sgemm" || events[0]["ph"] != "X" {
+		t.Fatalf("bad event %v", events[0])
+	}
+	if events[1]["name"] != "memcpy_HtoD_async" || events[1]["tid"].(float64) != 2 {
+		t.Fatalf("transfers should land on track 2: %v", events[1])
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	d := New(TeslaK40c())
+	d.MustLaunch(testKernel("k", 1e9)) // must not panic with no trace
+	tr := d.EnableTrace()
+	if tr.Len() != 0 {
+		t.Fatal("pre-enable launches must not be recorded")
+	}
+}

@@ -1,0 +1,136 @@
+// Package im2col implements the unrolling transforms behind
+// unrolling-based convolution (Caffe, Torch-cunn, Theano-CorrMM, cuDNN).
+// Im2col flattens every receptive field of an input image into a column
+// of a matrix so convolution becomes a single GEMM; col2im scatters a
+// column matrix back, accumulating where receptive fields overlap (the
+// backward-data path).
+package im2col
+
+import "fmt"
+
+// Geom describes the geometry of one unrolling: a single image of
+// C×H×W convolved with kernels of Kh×Kw at the given stride and padding.
+type Geom struct {
+	C, H, W    int // input channels, height, width
+	KH, KW     int // kernel extents
+	StrideH    int
+	StrideW    int
+	PadH, PadW int
+}
+
+// OutH returns the output height.
+func (g Geom) OutH() int { return (g.H+2*g.PadH-g.KH)/g.StrideH + 1 }
+
+// OutW returns the output width.
+func (g Geom) OutW() int { return (g.W+2*g.PadW-g.KW)/g.StrideW + 1 }
+
+// ColRows returns the number of rows of the unrolled matrix (C·KH·KW).
+func (g Geom) ColRows() int { return g.C * g.KH * g.KW }
+
+// ColCols returns the number of columns of the unrolled matrix
+// (OutH·OutW).
+func (g Geom) ColCols() int { return g.OutH() * g.OutW() }
+
+// ColBytes returns the size in bytes of the unrolled buffer for one
+// image — this is the extra workspace unrolling engines pay for.
+func (g Geom) ColBytes() int64 { return int64(g.ColRows()) * int64(g.ColCols()) * 4 }
+
+// Validate reports an error for degenerate geometries.
+func (g Geom) Validate() error {
+	if g.C <= 0 || g.H <= 0 || g.W <= 0 || g.KH <= 0 || g.KW <= 0 {
+		return fmt.Errorf("im2col: non-positive dimension in %+v", g)
+	}
+	if g.StrideH <= 0 || g.StrideW <= 0 {
+		return fmt.Errorf("im2col: non-positive stride in %+v", g)
+	}
+	if g.PadH < 0 || g.PadW < 0 {
+		return fmt.Errorf("im2col: negative padding in %+v", g)
+	}
+	if g.H+2*g.PadH < g.KH || g.W+2*g.PadW < g.KW {
+		return fmt.Errorf("im2col: kernel %dx%d larger than padded input %dx%d",
+			g.KH, g.KW, g.H+2*g.PadH, g.W+2*g.PadW)
+	}
+	return nil
+}
+
+// Im2col unrolls img (C×H×W row-major) into col, which must have
+// ColRows()×ColCols() elements. Row r of col corresponds to one
+// (channel, kernel-row, kernel-col) triple; column c corresponds to one
+// output position.
+func Im2col(g Geom, img []float32, col []float32) {
+	oh, ow := g.OutH(), g.OutW()
+	cols := oh * ow
+	if len(img) < g.C*g.H*g.W || len(col) < g.ColRows()*cols {
+		panic(fmt.Sprintf("im2col: buffers too small for %+v", g))
+	}
+	row := 0
+	for c := 0; c < g.C; c++ {
+		chanBase := c * g.H * g.W
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				dst := col[row*cols:]
+				idx := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.StrideH + kh - g.PadH
+					if iy < 0 || iy >= g.H {
+						for ox := 0; ox < ow; ox++ {
+							dst[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowBase := chanBase + iy*g.W
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.StrideW + kw - g.PadW
+						if ix < 0 || ix >= g.W {
+							dst[idx] = 0
+						} else {
+							dst[idx] = img[rowBase+ix]
+						}
+						idx++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Col2im scatters col (ColRows()×ColCols()) back into img (C×H×W),
+// accumulating overlapping contributions. img is zeroed first.
+func Col2im(g Geom, col []float32, img []float32) {
+	oh, ow := g.OutH(), g.OutW()
+	cols := oh * ow
+	if len(img) < g.C*g.H*g.W || len(col) < g.ColRows()*cols {
+		panic(fmt.Sprintf("im2col: buffers too small for %+v", g))
+	}
+	for i := range img[:g.C*g.H*g.W] {
+		img[i] = 0
+	}
+	row := 0
+	for c := 0; c < g.C; c++ {
+		chanBase := c * g.H * g.W
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				src := col[row*cols:]
+				idx := 0
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*g.StrideH + kh - g.PadH
+					if iy < 0 || iy >= g.H {
+						idx += ow
+						continue
+					}
+					rowBase := chanBase + iy*g.W
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*g.StrideW + kw - g.PadW
+						if ix >= 0 && ix < g.W {
+							img[rowBase+ix] += src[idx]
+						}
+						idx++
+					}
+				}
+				row++
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package impls
+
+import (
+	"fmt"
+
+	"gpucnn/internal/conv"
+	"gpucnn/internal/gpusim"
+)
+
+// autoEngine encodes the paper's practitioner guidance (the Section IV
+// and V summaries) as a dispatching implementation: per layer shape it
+// selects the engine the study recommends and delegates to it.
+//
+//   - "From the perspective of speed, fbfft is the fastest
+//     implementation to train a CNN model with large kernels. For small
+//     kernels, cuDNN would be a good choice."
+//   - "For a model with small kernel and large filter number,
+//     Theano-CorrMM slightly outperforms other implementations."
+//   - "Cuda-convnet2 is well suitable for cases when the memory is
+//     limited."
+//   - FFT engines cannot run strides above 1; cuDNN takes those.
+type autoEngine struct {
+	memBudget int64 // 0 = the full device
+}
+
+// NewAuto returns the rule-based dispatcher. memBudget (bytes) bounds
+// the chosen engine's expected peak memory; 0 means the device limit.
+func NewAuto(memBudget int64) Engine { return &autoEngine{memBudget: memBudget} }
+
+func (e *autoEngine) Name() string            { return "Auto" }
+func (e *autoEngine) Strategy() conv.Strategy { return conv.Unrolling } // of its fallback
+
+// Supports: the dispatcher always has a fallback (cuDNN runs anything).
+func (e *autoEngine) Supports(cfg conv.Config) error { return cfg.Validate() }
+
+// Pick returns the engine the paper's guidance selects for the config,
+// with the reason.
+func (e *autoEngine) Pick(cfg conv.Config) (Engine, string) {
+	cfg = cfg.WithDefaults()
+	budget := e.memBudget
+	if budget <= 0 {
+		budget = gpusim.TeslaK40c().GlobalMemBytes
+	}
+	// Memory-limited regimes go to the most frugal implementation.
+	if est := fbfftMemEstimate(cfg); est > budget {
+		if cc2 := NewCudaConvnet2(); cc2.Supports(cfg) == nil {
+			return cc2, "memory-limited: cuda-convnet2 is the most frugal"
+		}
+		return NewTorchCunn(), "memory-limited: Torch-cunn is the most frugal unrolling engine"
+	}
+	// Strided layers cannot use FFT. cuDNN is best there, except at
+	// very large filter counts where Theano-CorrMM's bigger row tiles
+	// pull ahead (the regime behind the paper's Figure 3c remark).
+	if cfg.Stride > 1 {
+		if cfg.Filters > 256 {
+			return NewTheanoCorrMM(), "stride > 1, large filter count: Theano-CorrMM"
+		}
+		return NewCuDNN(), "stride > 1: FFT unsupported, cuDNN fastest"
+	}
+	// Large kernels: fbfft.
+	if cfg.Kernel >= 7 {
+		return NewFbfft(), "large kernel: fbfft fastest"
+	}
+	return NewCuDNN(), "small kernel: cuDNN fastest"
+}
+
+func (e *autoEngine) Plan(dev *gpusim.Device, cfg conv.Config) (Plan, error) {
+	return e.planWith(dev, cfg, false)
+}
+
+// PlanShared plans with framework-owned activations.
+func (e *autoEngine) PlanShared(dev *gpusim.Device, cfg conv.Config) (Plan, error) {
+	return e.planWith(dev, cfg, true)
+}
+
+func (e *autoEngine) planWith(dev *gpusim.Device, cfg conv.Config, shared bool) (Plan, error) {
+	chosen, reason := e.Pick(cfg)
+	var p Plan
+	var err error
+	if shared {
+		p, err = chosen.PlanShared(dev, cfg)
+	} else {
+		p, err = chosen.Plan(dev, cfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("auto (%s, %s): %w", chosen.Name(), reason, err)
+	}
+	return p, nil
+}
+
+// fbfftMemEstimate approximates fbfft's resident footprint for the
+// budget check: the training tensors plus double-buffered Hermitian
+// frequency grids.
+func fbfftMemEstimate(cfg conv.Config) int64 {
+	tensors := 2*cfg.InputBytes() + 2*cfg.OutputBytes() + 2*cfg.FilterBytes()
+	n := conv.FFTPlanSize(cfg)
+	bins := int64(n * (n/2 + 1))
+	grids := int64(cfg.Batch*cfg.Channels + cfg.Filters*cfg.Channels + cfg.Batch*cfg.Filters)
+	return tensors + 2*grids*bins*8
+}

@@ -1,0 +1,110 @@
+package impls
+
+import (
+	"strings"
+	"testing"
+
+	"gpucnn/internal/conv"
+	"gpucnn/internal/workload"
+)
+
+func pickName(t *testing.T, cfg conv.Config, budget int64) (string, string) {
+	t.Helper()
+	a := NewAuto(budget).(*autoEngine)
+	e, reason := a.Pick(cfg)
+	return e.Name(), reason
+}
+
+func TestAutoPicksPerPaperGuidance(t *testing.T) {
+	base := workload.Base() // k=11
+
+	// Large kernels -> fbfft.
+	if name, _ := pickName(t, base, 0); name != "fbfft" {
+		t.Errorf("k=11 pick = %s, want fbfft", name)
+	}
+	// Small kernels -> cuDNN.
+	small := base
+	small.Kernel = 3
+	if name, _ := pickName(t, small, 0); name != "cuDNN" {
+		t.Errorf("k=3 pick = %s, want cuDNN", name)
+	}
+	// Strided + huge filter count -> Theano-CorrMM (measured: its
+	// larger row tiles beat cuDNN there, e.g. 71.1 vs 74.9 ms at
+	// (64,128,512,11,2)).
+	wide := base
+	wide.Stride = 2
+	wide.Filters = 512
+	if name, _ := pickName(t, wide, 0); name != "Theano-CorrMM" {
+		t.Errorf("s=2,f=512 pick = %s, want Theano-CorrMM", name)
+	}
+	// Stride > 1 at moderate filter counts -> cuDNN.
+	strided := base
+	strided.Stride = 4
+	if name, _ := pickName(t, strided, 0); name != "cuDNN" {
+		t.Errorf("stride pick = %s, want cuDNN", name)
+	}
+	// Tight memory budget -> cuda-convnet2.
+	if name, reason := pickName(t, base, 600<<20); name != "cuda-convnet2" {
+		t.Errorf("memory-limited pick = %s (%s), want cuda-convnet2", name, reason)
+	}
+	// Tight budget with a shape cc2 cannot run -> Torch-cunn fallback.
+	odd := base
+	odd.Batch = 50
+	if name, _ := pickName(t, odd, 600<<20); name != "Torch-cunn" {
+		t.Errorf("memory-limited odd-batch pick = %s, want Torch-cunn", name)
+	}
+}
+
+func TestAutoPlanDelegates(t *testing.T) {
+	dev := newDev()
+	a := NewAuto(0)
+	p, err := a.Plan(dev, workload.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release()
+	if err := p.Iteration(); err != nil {
+		t.Fatal(err)
+	}
+	// The fbfft kernels must appear in the profile — proof of dispatch.
+	found := false
+	for _, k := range dev.Prof.Kernels() {
+		if strings.Contains(k.Name, "decimateInFrequency") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("auto at k=11 should have dispatched to fbfft")
+	}
+}
+
+// TestAutoNeverSlowerThanWorstCase: across the kernel sweep, Auto's
+// runtime matches the per-point winner it selects — never the loser.
+func TestAutoBeatsFixedChoicesAcrossKernelSweep(t *testing.T) {
+	for _, k := range []int{3, 11} {
+		cfg := workload.Base()
+		cfg.Kernel = k
+		run := func(e Engine) float64 {
+			dev := newDev()
+			p, err := e.Plan(dev, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Release()
+			if err := p.Iteration(); err != nil {
+				t.Fatal(err)
+			}
+			return dev.Elapsed().Seconds()
+		}
+		auto := run(NewAuto(0))
+		fixedFFT := run(NewFbfft())
+		fixedCuDNN := run(NewCuDNN())
+		best := fixedFFT
+		if fixedCuDNN < best {
+			best = fixedCuDNN
+		}
+		if auto > best*1.0001 {
+			t.Errorf("k=%d: auto %.4fs should match the per-point best %.4fs", k, auto, best)
+		}
+	}
+}

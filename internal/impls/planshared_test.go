@@ -1,0 +1,116 @@
+package impls
+
+import (
+	"testing"
+
+	"gpucnn/internal/workload"
+)
+
+// TestPlanSharedUsesLessMemorySameTime: PlanShared skips the
+// activation buffers (the framework owns them) but must launch the
+// identical kernel sequence.
+func TestPlanSharedUsesLessMemorySameTime(t *testing.T) {
+	cfg := workload.Base()
+	for _, e := range append(All(), Extensions()...) {
+		if err := e.Supports(cfg); err != nil {
+			continue
+		}
+		devA, devB := newDev(), newDev()
+		full, err := e.Plan(devA, cfg)
+		if err != nil {
+			t.Fatalf("%s Plan: %v", e.Name(), err)
+		}
+		shared, err := e.PlanShared(devB, cfg)
+		if err != nil {
+			t.Fatalf("%s PlanShared: %v", e.Name(), err)
+		}
+		if devB.Mem.Peak() >= devA.Mem.Peak() {
+			t.Errorf("%s: PlanShared peak %d should be below Plan peak %d",
+				e.Name(), devB.Mem.Peak(), devA.Mem.Peak())
+		}
+		if err := full.Iteration(); err != nil {
+			t.Fatal(err)
+		}
+		if err := shared.Iteration(); err != nil {
+			t.Fatal(err)
+		}
+		if devA.Elapsed() != devB.Elapsed() {
+			t.Errorf("%s: shared plan timing %v differs from full plan %v",
+				e.Name(), devB.Elapsed(), devA.Elapsed())
+		}
+		full.Release()
+		shared.Release()
+	}
+}
+
+// TestEnginesDeterministicAcrossInstances: two independent engine
+// instances on independent devices must produce identical simulations.
+func TestEnginesDeterministicAcrossInstances(t *testing.T) {
+	cfg := workload.Base()
+	for _, name := range Names() {
+		e1, _ := ByName(name)
+		e2, _ := ByName(name)
+		d1, d2 := newDev(), newDev()
+		p1, err := e1.Plan(d1, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p2, err := e2.Plan(d2, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p1.Iteration()
+		p2.Iteration()
+		if d1.Elapsed() != d2.Elapsed() || d1.Mem.Peak() != d2.Mem.Peak() {
+			t.Errorf("%s not deterministic: %v/%d vs %v/%d",
+				name, d1.Elapsed(), d1.Mem.Peak(), d2.Elapsed(), d2.Mem.Peak())
+		}
+		p1.Release()
+		p2.Release()
+	}
+}
+
+// TestKernelNamesStable: the profile kernel names are part of the
+// Figure 4 contract; pin them.
+func TestKernelNamesStable(t *testing.T) {
+	want := map[string][]string{
+		"Caffe":          {"cublas_sgemm", "im2col_gpu_kernel", "col2im_gpu_kernel"},
+		"Torch-cunn":     {"cublas_sgemm", "im2col_gpu_kernel", "col2im_gpu_kernel"},
+		"Theano-CorrMM":  {"cublas_sgemm", "corrMM_im2col_kernel", "corrMM_col2im_kernel"},
+		"cuDNN":          {"cudnn_gemm", "wgrad_alg0_engine", "cudnn_precompute_stage"},
+		"cuda-convnet2":  {"filterActs_YxX_color", "img_acts_color", "conv_weight_acts_c_preload"},
+		"fbfft":          {"decimateInFrequency", "decimateInFrequencyInverse", "transpose", "cgemm_batched"},
+		"Theano-fft":     {"decimateInFrequency", "decimateInFrequencyInverse", "transpose", "cgemm_batched", "pad_and_copy"},
+		"cuDNN-Winograd": {"winograd_fwd_3x3_s1", "winograd_bwd_data_3x3_s1", "winograd_bwd_filter_3x3_s1"},
+	}
+	for name, kernels := range want {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := workload.Base()
+		if name == "cuDNN-Winograd" {
+			cfg.Kernel = 3
+		}
+		dev := newDev()
+		p, err := e.Plan(dev, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p.Iteration()
+		have := map[string]bool{}
+		for _, k := range dev.Prof.Kernels() {
+			have[k.Name] = true
+		}
+		for _, k := range kernels {
+			if !have[k] {
+				t.Errorf("%s: kernel %q missing from profile", name, k)
+			}
+		}
+		// Besides the transfer, no unexpected kernels.
+		if len(have) > len(kernels)+1 {
+			t.Errorf("%s: unexpected extra kernels: %v", name, have)
+		}
+		p.Release()
+	}
+}

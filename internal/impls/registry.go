@@ -1,0 +1,51 @@
+package impls
+
+import (
+	"fmt"
+	"strings"
+)
+
+// All returns the seven implementations in the order the paper lists
+// them: Caffe, Torch-cunn, Theano-CorrMM, Theano-fft, cuDNN,
+// cuda-convnet2, fbfft.
+func All() []Engine {
+	return []Engine{
+		NewCaffe(),
+		NewTorchCunn(),
+		NewTheanoCorrMM(),
+		NewTheanoFFT(),
+		NewCuDNN(),
+		NewCudaConvnet2(),
+		NewFbfft(),
+	}
+}
+
+// Names returns the names of all engines in registry order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, e := range all {
+		names[i] = e.Name()
+	}
+	return names
+}
+
+// Extensions returns implementations that go beyond the paper's seven —
+// post-publication optimisations implemented as the "opportunities for
+// further optimization" the paper's conclusion identifies. They are
+// kept out of All() so the reproduced comparisons stay faithful.
+func Extensions() []Engine {
+	return []Engine{NewWinograd(), NewAuto(0), NewTheanoLegacy()}
+}
+
+// ByName looks an engine up case-insensitively by its paper name
+// (extensions included).
+func ByName(name string) (Engine, error) {
+	for _, e := range append(All(), Extensions()...) {
+		if strings.EqualFold(e.Name(), name) {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("impls: unknown implementation %q (have %s)",
+		name, strings.Join(Names(), ", "))
+}

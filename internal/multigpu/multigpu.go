@@ -1,0 +1,146 @@
+// Package multigpu extends the single-device study with data-parallel
+// training across several simulated GPUs — the "one weird trick"
+// scheme (the paper's reference [18], cuda-convnet2) that all the
+// surveyed frameworks grew during this period: each device computes a
+// shard of the mini-batch, then weight gradients are all-reduced over
+// the PCIe interconnect before the update.
+//
+// The scaling behaviour the model exposes is the classical one: compute
+// shrinks with 1/N while the ring all-reduce cost is nearly constant in
+// N, so convolutional layers (many flops, few weights) scale well and
+// fully-connected layers (few flops, many weights) stall — the reason
+// reference [18] parallelises conv layers by data and FC layers by
+// model.
+package multigpu
+
+import (
+	"fmt"
+	"time"
+
+	"gpucnn/internal/conv"
+	"gpucnn/internal/gpusim"
+	"gpucnn/internal/impls"
+)
+
+// Cluster is a set of identical simulated GPUs on one PCIe root.
+type Cluster struct {
+	Devices []*gpusim.Device
+	spec    gpusim.DeviceSpec
+}
+
+// New builds a cluster of n devices with the given spec.
+func New(n int, spec gpusim.DeviceSpec) *Cluster {
+	if n <= 0 {
+		panic(fmt.Sprintf("multigpu: cluster size %d", n))
+	}
+	c := &Cluster{spec: spec}
+	for i := 0; i < n; i++ {
+		c.Devices = append(c.Devices, gpusim.New(spec))
+	}
+	return c
+}
+
+// Size returns the device count.
+func (c *Cluster) Size() int { return len(c.Devices) }
+
+// AllReduceTime models a ring all-reduce of `bytes` gradient bytes
+// across the cluster over PCIe (peer-to-peer at pinned bandwidth):
+// each device sends and receives 2·(N−1)/N of the buffer.
+func (c *Cluster) AllReduceTime(bytes int64) time.Duration {
+	n := len(c.Devices)
+	if n == 1 {
+		return 0
+	}
+	bw := c.spec.PCIePinnedGBps * 1e9
+	vol := 2 * float64(n-1) / float64(n) * float64(bytes)
+	sec := vol/bw + float64(n-1)*c.spec.TransferLatencyNs/1e9
+	return time.Duration(sec * 1e9)
+}
+
+// Result summarises one data-parallel iteration.
+type Result struct {
+	Devices      int
+	ShardBatch   int
+	ComputeTime  time.Duration // slowest device's local iteration
+	AllReduce    time.Duration
+	Total        time.Duration
+	Speedup      float64 // vs the 1-device iteration on the full batch
+	CommFraction float64
+}
+
+// Iteration simulates one data-parallel training iteration of a
+// convolution layer: the global batch is sharded evenly (it must
+// divide; remainders would unbalance the ring), each device runs its
+// shard, and the filter gradients are all-reduced.
+func (c *Cluster) Iteration(e impls.Engine, cfg conv.Config) (Result, error) {
+	n := len(c.Devices)
+	cfg = cfg.WithDefaults()
+	if cfg.Batch%n != 0 {
+		return Result{}, fmt.Errorf("multigpu: batch %d does not shard across %d devices", cfg.Batch, n)
+	}
+	shard := cfg
+	shard.Batch = cfg.Batch / n
+	if err := e.Supports(shard); err != nil {
+		return Result{}, fmt.Errorf("multigpu: shard unsupported: %w", err)
+	}
+
+	var slowest time.Duration
+	for _, dev := range c.Devices {
+		dev.ResetClock()
+		plan, err := e.Plan(dev, shard)
+		if err != nil {
+			return Result{}, err
+		}
+		if err := plan.Iteration(); err != nil {
+			plan.Release()
+			return Result{}, err
+		}
+		plan.Release()
+		if el := dev.Elapsed(); el > slowest {
+			slowest = el
+		}
+	}
+	ar := c.AllReduceTime(cfg.FilterBytes())
+	total := slowest + ar
+
+	// Single-device reference for the speedup.
+	ref := gpusim.New(c.spec)
+	refPlan, err := e.Plan(ref, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := refPlan.Iteration(); err != nil {
+		refPlan.Release()
+		return Result{}, err
+	}
+	refPlan.Release()
+
+	res := Result{
+		Devices:     n,
+		ShardBatch:  shard.Batch,
+		ComputeTime: slowest,
+		AllReduce:   ar,
+		Total:       total,
+	}
+	if total > 0 {
+		res.Speedup = ref.Elapsed().Seconds() / total.Seconds()
+		res.CommFraction = ar.Seconds() / total.Seconds()
+	}
+	return res, nil
+}
+
+// ScalingStudy runs the iteration across cluster sizes (1, 2, 4, …)
+// and returns the per-size results — a strong-scaling curve for the
+// configuration.
+func ScalingStudy(e impls.Engine, cfg conv.Config, spec gpusim.DeviceSpec, sizes []int) ([]Result, error) {
+	var out []Result
+	for _, n := range sizes {
+		c := New(n, spec)
+		r, err := c.Iteration(e, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package nn
+
+import (
+	"math"
+
+	"gpucnn/internal/par"
+	"gpucnn/internal/tensor"
+)
+
+// BatchNorm is spatial batch normalisation (Ioffe & Szegedy, 2015 —
+// contemporary with the paper's frameworks and the standard extension
+// they all grew): per-channel normalisation over the (N, H, W) axes
+// with learned scale and shift, running statistics for evaluation.
+type BatchNorm struct {
+	name     string
+	Eps      float64
+	Momentum float32 // running-stat update rate
+
+	gamma, beta *Param
+	runMean     []float32
+	runVar      []float32
+
+	// Backward caches.
+	lastX  *Value
+	xhat   []float32
+	invStd []float64
+	mean   []float64
+}
+
+// NewBatchNorm builds a batch-normalisation layer (eps defaults to
+// 1e-5, momentum to 0.1).
+func NewBatchNorm(name string, eps float64, momentum float32) *BatchNorm {
+	if eps == 0 {
+		eps = 1e-5
+	}
+	if momentum == 0 {
+		momentum = 0.1
+	}
+	return &BatchNorm{name: name, Eps: eps, Momentum: momentum}
+}
+
+// Name returns the layer name.
+func (l *BatchNorm) Name() string { return l.name }
+
+// Kind groups batch norm with LRN in the Figure 2 taxonomy (both are
+// normalisation layers).
+func (l *BatchNorm) Kind() Kind { return KindLRN }
+
+// OutShape is the identity.
+func (l *BatchNorm) OutShape(in tensor.Shape) tensor.Shape { return in.Clone() }
+
+func (l *BatchNorm) ensureParams(c int) {
+	if l.gamma != nil {
+		return
+	}
+	l.gamma = NewParam(l.name+".gamma", c)
+	l.gamma.W.Fill(1)
+	l.beta = NewParam(l.name+".beta", c)
+	l.runMean = make([]float32, c)
+	l.runVar = make([]float32, c)
+	for i := range l.runVar {
+		l.runVar[i] = 1
+	}
+}
+
+// Forward normalises per channel. In training mode batch statistics
+// are used and the running statistics updated; in evaluation mode the
+// running statistics are used.
+func (l *BatchNorm) Forward(ctx *Context, x *Value) *Value {
+	n, c, h, w := checkRank4(x, "batchnorm "+l.name)
+	l.ensureParams(c)
+	l.lastX = x
+	out := &Value{Shape: x.Shape.Clone()}
+	ctx.timed(KindLRN, func() {
+		if x.Real() {
+			out.Data = tensor.New(out.Shape...)
+			hw := h * w
+			m := float64(n * hw)
+			l.xhat = make([]float32, x.Elems())
+			l.invStd = make([]float64, c)
+			l.mean = make([]float64, c)
+			par.ForEach(c, func(ci int) {
+				var mean, variance float64
+				if ctx.Train {
+					for bi := 0; bi < n; bi++ {
+						seg := x.Data.Data[(bi*c+ci)*hw : (bi*c+ci+1)*hw]
+						for _, v := range seg {
+							mean += float64(v)
+						}
+					}
+					mean /= m
+					for bi := 0; bi < n; bi++ {
+						seg := x.Data.Data[(bi*c+ci)*hw : (bi*c+ci+1)*hw]
+						for _, v := range seg {
+							d := float64(v) - mean
+							variance += d * d
+						}
+					}
+					variance /= m
+					l.runMean[ci] = (1-l.Momentum)*l.runMean[ci] + l.Momentum*float32(mean)
+					l.runVar[ci] = (1-l.Momentum)*l.runVar[ci] + l.Momentum*float32(variance)
+				} else {
+					mean = float64(l.runMean[ci])
+					variance = float64(l.runVar[ci])
+				}
+				inv := 1 / math.Sqrt(variance+l.Eps)
+				l.invStd[ci] = inv
+				l.mean[ci] = mean
+				g, b := l.gamma.W.Data[ci], l.beta.W.Data[ci]
+				for bi := 0; bi < n; bi++ {
+					base := (bi*c + ci) * hw
+					for j := 0; j < hw; j++ {
+						xh := float32((float64(x.Data.Data[base+j]) - mean) * inv)
+						l.xhat[base+j] = xh
+						out.Data.Data[base+j] = g*xh + b
+					}
+				}
+			})
+		}
+		ctx.launch(elementwiseSpec("batchnorm_fwd", x.Elems(), 16))
+	})
+	return out
+}
+
+// Backward implements the full batch-norm gradient, including the
+// dependence of the batch statistics on the input.
+func (l *BatchNorm) Backward(ctx *Context, dy *Value) *Value {
+	n, c, h, w := checkRank4(l.lastX, "batchnorm "+l.name)
+	out := &Value{Shape: dy.Shape.Clone()}
+	ctx.timed(KindLRN, func() {
+		if dy.Real() && l.lastX.Real() {
+			out.Data = tensor.New(out.Shape...)
+			hw := h * w
+			m := float64(n * hw)
+			par.ForEach(c, func(ci int) {
+				g := float64(l.gamma.W.Data[ci])
+				inv := l.invStd[ci]
+				// Accumulate Σdy and Σdy·x̂ for the channel.
+				var sumDy, sumDyXhat float64
+				for bi := 0; bi < n; bi++ {
+					base := (bi*c + ci) * hw
+					for j := 0; j < hw; j++ {
+						d := float64(dy.Data.Data[base+j])
+						sumDy += d
+						sumDyXhat += d * float64(l.xhat[base+j])
+					}
+				}
+				l.beta.Grad.Data[ci] += float32(sumDy)
+				l.gamma.Grad.Data[ci] += float32(sumDyXhat)
+				// dx = (g·inv/m)·(m·dy − Σdy − x̂·Σ(dy·x̂))
+				scale := g * inv / m
+				for bi := 0; bi < n; bi++ {
+					base := (bi*c + ci) * hw
+					for j := 0; j < hw; j++ {
+						d := float64(dy.Data.Data[base+j])
+						xh := float64(l.xhat[base+j])
+						out.Data.Data[base+j] = float32(scale * (m*d - sumDy - xh*sumDyXhat))
+					}
+				}
+			})
+		}
+		ctx.launch(elementwiseSpec("batchnorm_bwd", dy.Elems(), 20))
+	})
+	return out
+}
+
+// Params returns gamma and beta.
+func (l *BatchNorm) Params() []*Param {
+	if l.gamma == nil {
+		return nil
+	}
+	return []*Param{l.gamma, l.beta}
+}

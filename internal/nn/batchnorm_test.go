@@ -1,0 +1,120 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"gpucnn/internal/tensor"
+)
+
+func TestBatchNormNormalises(t *testing.T) {
+	l := NewBatchNorm("bn", 0, 0)
+	x := tensor.New(4, 3, 5, 5)
+	x.FillUniform(tensor.NewRNG(1), -3, 7) // deliberately off-centre
+	ctx := NewContext(nil, true)
+	y := l.Forward(ctx, NewValue(x))
+	// With gamma=1, beta=0 each channel of the output has ~zero mean
+	// and ~unit variance.
+	n, c, hw := 4, 3, 25
+	for ci := 0; ci < c; ci++ {
+		var mean, variance float64
+		for bi := 0; bi < n; bi++ {
+			for j := 0; j < hw; j++ {
+				mean += float64(y.Data.At(bi, ci, j/5, j%5))
+			}
+		}
+		mean /= float64(n * hw)
+		for bi := 0; bi < n; bi++ {
+			for j := 0; j < hw; j++ {
+				d := float64(y.Data.At(bi, ci, j/5, j%5)) - mean
+				variance += d * d
+			}
+		}
+		variance /= float64(n * hw)
+		if math.Abs(mean) > 1e-4 || math.Abs(variance-1) > 1e-3 {
+			t.Fatalf("channel %d: mean %v var %v", ci, mean, variance)
+		}
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	l := NewBatchNorm("bn", 0, 0.5)
+	x := tensor.New(8, 2, 4, 4)
+	x.FillUniform(tensor.NewRNG(2), 2, 4) // mean ≈ 3
+	train := NewContext(nil, true)
+	for i := 0; i < 20; i++ {
+		l.Forward(train, NewValue(x))
+	}
+	// Evaluation with a different input must normalise by the learned
+	// running stats, not batch stats.
+	probe := tensor.New(8, 2, 4, 4)
+	probe.Fill(3) // equals the running mean
+	eval := NewContext(nil, false)
+	y := l.Forward(eval, NewValue(probe))
+	if m := y.Data.Sum() / float64(y.Data.Len()); math.Abs(m) > 0.05 {
+		t.Fatalf("eval output mean %v, want ~0 (input at running mean)", m)
+	}
+}
+
+func TestBatchNormGradientInput(t *testing.T) {
+	l := NewBatchNorm("bn", 0, 0)
+	x := tensor.New(2, 2, 3, 3)
+	x.FillUniform(tensor.NewRNG(3), -1, 1)
+	gradCheckInput(t, l, x, x.Shape(), 3e-2)
+}
+
+func TestBatchNormGradientParams(t *testing.T) {
+	l := NewBatchNorm("bn", 0, 0)
+	x := tensor.New(2, 2, 3, 3)
+	x.FillUniform(tensor.NewRNG(4), -1, 1)
+	proj := tensor.New(x.Shape()...)
+	proj.FillUniform(tensor.NewRNG(5), -1, 1)
+	ctx := NewContext(nil, true)
+	l.Forward(ctx, NewValue(x)) // materialise params
+	l.gamma.W.FillUniform(tensor.NewRNG(6), 0.5, 1.5)
+	l.gamma.Grad.Zero()
+	l.beta.Grad.Zero()
+	analyticGrads(l, x, proj)
+	numG := numericalGrad(t, l, x, l.gamma.W, proj, 1e-2)
+	if !tensor.AllClose(l.gamma.Grad, numG, 3e-2) {
+		t.Fatalf("gamma gradient mismatch: %g", tensor.RelDiff(l.gamma.Grad, numG))
+	}
+	numB := numericalGrad(t, l, x, l.beta.W, proj, 1e-2)
+	if !tensor.AllClose(l.beta.Grad, numB, 3e-2) {
+		t.Fatalf("beta gradient mismatch: %g", tensor.RelDiff(l.beta.Grad, numB))
+	}
+}
+
+func TestBatchNormInNetwork(t *testing.T) {
+	net := NewNet("bn-net",
+		NewConv("c1", nil, 4, 3, 1, 1),
+		NewBatchNorm("bn1", 0, 0),
+		NewReLU("r1"),
+		NewFC("fc", 2),
+		NewSoftmaxLoss("loss"),
+	)
+	r := tensor.NewRNG(7)
+	ctx := NewContext(nil, true)
+	opt := NewSGD(0.05, 0.9, 0)
+	var first, last float64
+	for step := 0; step < 30; step++ {
+		x := tensor.New(8, 1, 6, 6)
+		labels := make([]int, 8)
+		for bi := 0; bi < 8; bi++ {
+			labels[bi] = r.Intn(2)
+			base := float32(labels[bi])*2 - 1
+			for j := 0; j < 36; j++ {
+				x.Data[bi*36+j] = base + 0.3*(2*r.Float32()-1)
+			}
+		}
+		loss, _ := net.TrainStep(ctx, x, labels)
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		opt.Step(net.Params())
+	}
+	if last >= first/2 {
+		t.Fatalf("batch-normed net did not converge: %v -> %v", first, last)
+	}
+}

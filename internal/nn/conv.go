@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"gpucnn/internal/conv"
+	"gpucnn/internal/gpusim"
+	"gpucnn/internal/impls"
+	"gpucnn/internal/par"
+	"gpucnn/internal/tensor"
+)
+
+// Conv is a convolutional layer backed by one of the seven engines.
+// Weights are FCHW, plus a per-filter bias.
+type Conv struct {
+	name    string
+	engine  impls.Engine
+	Filters int
+	Kernel  int
+	Stride  int
+	Pad     int
+
+	weight *Param
+	bias   *Param
+	inited bool
+
+	// Cached per-shape engine plan and the inputs of the last forward.
+	plan    impls.Plan
+	planCfg conv.Config
+	planDev *gpusim.Device
+	lastX   *Value
+}
+
+// NewConv builds a convolutional layer using the given engine (nil
+// selects cuDNN, the paper's best all-round choice).
+func NewConv(name string, engine impls.Engine, filters, kernel, stride, pad int) *Conv {
+	if engine == nil {
+		engine = impls.NewCuDNN()
+	}
+	return &Conv{name: name, engine: engine, Filters: filters, Kernel: kernel, Stride: stride, Pad: pad}
+}
+
+// Name returns the layer name.
+func (l *Conv) Name() string { return l.name }
+
+// Kind returns KindConv.
+func (l *Conv) Kind() Kind { return KindConv }
+
+// Engine returns the backing convolution engine.
+func (l *Conv) Engine() impls.Engine { return l.engine }
+
+func (l *Conv) cfgFor(in tensor.Shape) conv.Config {
+	if len(in) != 4 {
+		panic(fmt.Sprintf("nn: conv %s requires NCHW input, got %v", l.name, in))
+	}
+	if in[2] != in[3] {
+		panic(fmt.Sprintf("nn: conv %s requires square input, got %v", l.name, in))
+	}
+	cfg := conv.Config{
+		Batch: in[0], Channels: in[1], Input: in[2],
+		Filters: l.Filters, Kernel: l.Kernel, Stride: l.Stride, Pad: l.Pad,
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("nn: conv %s: %v", l.name, err))
+	}
+	return cfg
+}
+
+// OutShape computes the output NCHW shape.
+func (l *Conv) OutShape(in tensor.Shape) tensor.Shape {
+	cfg := l.cfgFor(in)
+	return cfg.OutputShape()
+}
+
+func (l *Conv) ensureParams(channels int) {
+	if l.weight != nil {
+		return
+	}
+	l.weight = NewParam(l.name+".weight", l.Filters, channels, l.Kernel, l.Kernel)
+	l.bias = NewParam(l.name+".bias", l.Filters)
+}
+
+// initWeights fills the weights on first real use (simulate-only runs
+// never pay for initialising VGG-scale parameter tensors).
+func (l *Conv) initWeights() {
+	if l.inited {
+		return
+	}
+	l.inited = true
+	// He-style fan-in scaling keeps deep stacks trainable.
+	fanIn := float64(l.weight.W.Dim(1) * l.Kernel * l.Kernel)
+	sigma := float32(1.0)
+	if fanIn > 0 {
+		sigma = float32(math.Sqrt(2 / fanIn))
+	}
+	l.weight.W.FillNormal(tensor.NewRNG(uint64(len(l.name))*2654435761+7), sigma)
+}
+
+func (l *Conv) ensurePlan(ctx *Context, cfg conv.Config) impls.Plan {
+	if ctx.Dev == nil {
+		return nil
+	}
+	if l.plan != nil && l.planCfg == cfg && l.planDev == ctx.Dev {
+		return l.plan
+	}
+	if l.plan != nil {
+		l.plan.Release()
+	}
+	p, err := l.engine.PlanShared(ctx.Dev, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("nn: conv %s: %v", l.name, err))
+	}
+	l.plan, l.planCfg, l.planDev = p, cfg, ctx.Dev
+	return p
+}
+
+// Release frees the layer's device plan.
+func (l *Conv) Release() {
+	if l.plan != nil {
+		l.plan.Release()
+		l.plan = nil
+	}
+}
+
+// Forward runs the engine (real or simulate-only) plus the bias add.
+func (l *Conv) Forward(ctx *Context, x *Value) *Value {
+	cfg := l.cfgFor(x.Shape)
+	l.ensureParams(cfg.Channels)
+	l.lastX = x
+	out := &Value{Shape: cfg.OutputShape()}
+	ctx.timed(KindConv, func() {
+		plan := l.ensurePlan(ctx, cfg)
+		if x.Real() {
+			l.initWeights()
+			out.Data = tensor.New(out.Shape...)
+			if plan != nil {
+				if err := plan.Forward(x.Data, l.weight.W, out.Data); err != nil {
+					panic(err)
+				}
+			} else {
+				conv.UnrollForward(cfg, x.Data, l.weight.W, out.Data)
+			}
+			l.addBias(out.Data)
+		} else if plan != nil {
+			if err := plan.Forward(nil, nil, nil); err != nil {
+				panic(err)
+			}
+		}
+		ctx.launch(elementwiseSpec("add_bias", out.Elems(), 8))
+	})
+	return out
+}
+
+func (l *Conv) addBias(y *tensor.Tensor) {
+	n, f := y.Dim(0), y.Dim(1)
+	hw := y.Dim(2) * y.Dim(3)
+	par.ForEach(n*f, func(j int) {
+		b := l.bias.W.Data[j%f]
+		seg := y.Data[j*hw : (j+1)*hw]
+		for i := range seg {
+			seg[i] += b
+		}
+	})
+}
+
+// Backward computes dx and accumulates weight/bias gradients.
+func (l *Conv) Backward(ctx *Context, dy *Value) *Value {
+	cfg := l.cfgFor(l.lastX.Shape)
+	out := &Value{Shape: l.lastX.Shape.Clone()}
+	ctx.timed(KindConv, func() {
+		plan := l.ensurePlan(ctx, cfg)
+		if dy.Real() && l.lastX.Real() {
+			// Bias gradient: per-filter sum of dy.
+			n, f := dy.Shape[0], dy.Shape[1]
+			hw := dy.Shape[2] * dy.Shape[3]
+			for j := 0; j < n*f; j++ {
+				var s float32
+				seg := dy.Data.Data[j*hw : (j+1)*hw]
+				for _, v := range seg {
+					s += v
+				}
+				l.bias.Grad.Data[j%f] += s
+			}
+			out.Data = tensor.New(out.Shape...)
+			dw := tensor.New(l.weight.W.Shape()...)
+			if plan != nil {
+				if err := plan.BackwardData(dy.Data, l.weight.W, out.Data); err != nil {
+					panic(err)
+				}
+				if err := plan.BackwardFilter(l.lastX.Data, dy.Data, dw); err != nil {
+					panic(err)
+				}
+			} else {
+				conv.UnrollBackwardData(cfg, dy.Data, l.weight.W, out.Data)
+				conv.UnrollBackwardFilter(cfg, l.lastX.Data, dy.Data, dw)
+			}
+			l.weight.Grad.AddScaled(dw, 1)
+		} else if plan != nil {
+			if err := plan.BackwardData(nil, nil, nil); err != nil {
+				panic(err)
+			}
+			if err := plan.BackwardFilter(nil, nil, nil); err != nil {
+				panic(err)
+			}
+		}
+		ctx.launch(elementwiseSpec("bias_grad", dy.Elems(), 4))
+	})
+	return out
+}
+
+// Params returns weight and bias.
+func (l *Conv) Params() []*Param {
+	if l.weight == nil {
+		return nil
+	}
+	return []*Param{l.weight, l.bias}
+}

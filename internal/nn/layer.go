@@ -1,0 +1,205 @@
+// Package nn is a small CNN framework over the convolution engines: the
+// layer types that make up the paper's four profiled models
+// (convolution, pooling, ReLU, LRN, dropout, fully-connected, concat /
+// inception branches, softmax loss), a sequential network container
+// with backpropagation, per-layer-kind simulated-time accounting (the
+// instrument behind Figure 2), and an SGD trainer.
+//
+// Layers run in two modes, controlled by the Context:
+//
+//   - Real mode: Values carry tensors, layers compute real arithmetic
+//     (goroutine-parallel) and simultaneously emit their kernel launches
+//     to the simulated device.
+//   - Simulate-only mode (Value.Data == nil): only shapes flow through
+//     the network and only the device clock advances — this is how the
+//     big model profiles run without allocating ImageNet-scale
+//     activations on the host.
+package nn
+
+import (
+	"fmt"
+	"time"
+
+	"gpucnn/internal/gpusim"
+	"gpucnn/internal/tensor"
+)
+
+// Kind is the layer category used in the paper's Figure 2 runtime
+// breakdown.
+type Kind string
+
+// Layer kinds, matching Figure 2's categories.
+const (
+	KindConv    Kind = "Conv"
+	KindPool    Kind = "Pooling"
+	KindReLU    Kind = "ReLU"
+	KindFC      Kind = "FC"
+	KindConcat  Kind = "Concat"
+	KindLRN     Kind = "LRN"
+	KindDropout Kind = "Dropout"
+	KindLoss    Kind = "Loss"
+)
+
+// Value is an activation flowing between layers: always a shape,
+// optionally real data (nil in simulate-only mode).
+type Value struct {
+	Shape tensor.Shape
+	Data  *tensor.Tensor
+}
+
+// NewValue wraps a tensor as a Value.
+func NewValue(t *tensor.Tensor) *Value {
+	return &Value{Shape: t.Shape(), Data: t}
+}
+
+// ShapeOnly builds a data-less Value for simulate-only runs.
+func ShapeOnly(dims ...int) *Value {
+	return &Value{Shape: tensor.Shape(dims).Clone()}
+}
+
+// Real reports whether the value carries data.
+func (v *Value) Real() bool { return v != nil && v.Data != nil }
+
+// Elems returns the element count of the value's shape.
+func (v *Value) Elems() int { return v.Shape.Elems() }
+
+// Param is a learnable tensor with its gradient.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+// NewParam allocates a parameter and its gradient buffer.
+func NewParam(name string, dims ...int) *Param {
+	return &Param{Name: name, W: tensor.New(dims...), Grad: tensor.New(dims...)}
+}
+
+// Elems returns the parameter element count.
+func (p *Param) Elems() int { return p.W.Len() }
+
+// Context carries the per-run state: the simulated device (optional),
+// training flag, RNG for dropout, and the per-kind time ledger.
+type Context struct {
+	Dev   *gpusim.Device
+	Train bool
+	RNG   *tensor.RNG
+
+	TimeByKind map[Kind]time.Duration
+
+	// ActivationBytes estimates the device memory the network's
+	// activations (and their gradients, in training mode) would occupy —
+	// accumulated by Net.Forward.
+	ActivationBytes int64
+}
+
+// NewContext builds a context. dev may be nil to run pure arithmetic
+// with no simulation.
+func NewContext(dev *gpusim.Device, train bool) *Context {
+	return &Context{Dev: dev, Train: train, RNG: tensor.NewRNG(1), TimeByKind: map[Kind]time.Duration{}}
+}
+
+// timed runs f and attributes the simulated-clock delta to kind.
+func (c *Context) timed(kind Kind, f func()) {
+	if c.Dev == nil {
+		f()
+		return
+	}
+	start := c.Dev.Elapsed()
+	f()
+	c.TimeByKind[kind] += c.Dev.Elapsed() - start
+}
+
+// launch emits a kernel if a device is attached.
+func (c *Context) launch(spec gpusim.KernelSpec) {
+	if c.Dev == nil {
+		return
+	}
+	c.Dev.MustLaunch(spec)
+}
+
+// TotalTime sums the ledger.
+func (c *Context) TotalTime() time.Duration {
+	var t time.Duration
+	for _, d := range c.TimeByKind {
+		t += d
+	}
+	return t
+}
+
+// Layer is one network stage.
+type Layer interface {
+	Name() string
+	Kind() Kind
+	// OutShape computes the output shape for an input shape, validating
+	// compatibility (panics on impossible shapes, like the engines do).
+	OutShape(in tensor.Shape) tensor.Shape
+	// Forward consumes x and produces the layer output. Layers cache
+	// what they need for Backward.
+	Forward(ctx *Context, x *Value) *Value
+	// Backward consumes the output gradient and returns the input
+	// gradient, accumulating parameter gradients internally.
+	Backward(ctx *Context, dy *Value) *Value
+	// Params returns the layer's learnable parameters (may be empty).
+	Params() []*Param
+}
+
+// elementwiseSpec models a streaming elementwise kernel (ReLU, dropout,
+// bias add): purely memory-bound, perfectly coalesced.
+func elementwiseSpec(name string, elems int, bytesPerElem float64) gpusim.KernelSpec {
+	bytes := float64(elems) * bytesPerElem
+	return gpusim.KernelSpec{
+		Name:             name,
+		Grid:             gpusim.Dim3{X: (elems + 255) / 256},
+		Block:            gpusim.Dim3{X: 256},
+		RegsPerThread:    16,
+		FLOPs:            float64(elems),
+		GlobalLoadBytes:  bytes * 0.6,
+		GlobalStoreBytes: bytes * 0.4,
+		LoadTransPerReq:  1,
+		StoreTransPerReq: 1,
+		ActiveThreadFrac: 0.99,
+		ILP:              2,
+		EfficiencyScale:  0.9,
+	}
+}
+
+// fcGemmSpec models the cuBLAS SGEMM behind a fully-connected layer:
+// out×in weight panel times an in×batch activation panel. The batch is
+// the GEMM's narrow dimension, so FC layers run far below peak — the
+// reason convolution, not the parameter-heavy FC stack, dominates
+// Figure 2's runtime breakdown.
+func fcGemmSpec(m, n, k int) gpusim.KernelSpec {
+	nUtil := float64(n) / 512
+	if nUtil > 1 {
+		nUtil = 1
+	}
+	eff := 0.85 * (0.25 + 0.75*nUtil)
+	weightBytes := 4 * float64(m) * float64(k)
+	ioBytes := 4 * float64(n) * float64(m+k)
+	return gpusim.KernelSpec{
+		Name:             "cublas_sgemm",
+		Grid:             gpusim.Dim3{X: ((m+63)/64)*((n+63)/64) + 1},
+		Block:            gpusim.Dim3{X: 256},
+		RegsPerThread:    86,
+		SharedPerBlock:   8704,
+		FLOPs:            2 * float64(m) * float64(n) * float64(k),
+		GlobalLoadBytes:  weightBytes + ioBytes*0.6,
+		GlobalStoreBytes: ioBytes * 0.4,
+		LoadTransPerReq:  1.5,
+		StoreTransPerReq: 1.2,
+		L2HitFrac:        0.5,
+		UsesShared:       true,
+		SharedBroadcast:  1.1,
+		ActiveThreadFrac: 0.99,
+		ILP:              3,
+		EfficiencyScale:  eff,
+	}
+}
+
+func checkRank4(v *Value, who string) (n, c, h, w int) {
+	if len(v.Shape) != 4 {
+		panic(fmt.Sprintf("nn: %s requires a rank-4 NCHW input, got %v", who, v.Shape))
+	}
+	return v.Shape[0], v.Shape[1], v.Shape[2], v.Shape[3]
+}

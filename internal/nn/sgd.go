@@ -1,0 +1,33 @@
+package nn
+
+// SGD is stochastic gradient descent with momentum and weight decay —
+// the optimiser the surveyed frameworks trained with.
+type SGD struct {
+	LR       float32
+	Momentum float32
+	Decay    float32
+
+	velocity map[*Param][]float32
+}
+
+// NewSGD builds an SGD optimiser.
+func NewSGD(lr, momentum, decay float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, Decay: decay, velocity: map[*Param][]float32{}}
+}
+
+// Step applies one update to every parameter and zeroes the gradients.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v, ok := s.velocity[p]
+		if !ok {
+			v = make([]float32, p.Elems())
+			s.velocity[p] = v
+		}
+		for i := range p.W.Data {
+			g := p.Grad.Data[i] + s.Decay*p.W.Data[i]
+			v[i] = s.Momentum*v[i] - s.LR*g
+			p.W.Data[i] += v[i]
+		}
+		p.Grad.Zero()
+	}
+}

@@ -1,0 +1,77 @@
+// Package par provides the small work-distribution helpers shared by
+// the compute kernels: a bounded parallel for-loop over an index range.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs f(i) for every i in [0, n), distributing indices over at
+// most GOMAXPROCS goroutines. It runs serially for tiny ranges so
+// fine-grained callers don't pay spawn overhead.
+func ForEach(n int, f func(i int)) {
+	ForEachN(n, runtime.GOMAXPROCS(0), f)
+}
+
+// ForEachN is ForEach with an explicit worker bound.
+func ForEachN(n, workers int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Chunks splits [0, n) into roughly equal [lo, hi) chunks and runs
+// f(lo, hi) for each in parallel. Use when per-index work is tiny and
+// the body can amortise across a contiguous range.
+func Chunks(n, workers int, f func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if n > 0 {
+			f(0, n)
+		}
+		return
+	}
+	per := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += per {
+		hi := lo + per
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,49 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		hits := make([]int32, n)
+		ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachNSerialFallback(t *testing.T) {
+	sum := 0
+	// workers=1 must run inline with no data race on the plain int.
+	ForEachN(50, 1, func(i int) { sum += i })
+	if sum != 49*50/2 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestChunksCoverExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64, 1001} {
+		for _, w := range []int{0, 1, 3, 8} {
+			hits := make([]int32, n)
+			Chunks(n, w, func(lo, hi int) {
+				if lo < 0 || hi > n || lo > hi {
+					t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d w=%d: index %d hit %d times", n, w, i, h)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package tensor
+
+import "fmt"
+
+// ComplexTensor is a dense complex64 tensor used by the FFT-based
+// convolution strategies to hold frequency-domain data.
+type ComplexTensor struct {
+	shape Shape
+	Data  []complex64
+}
+
+// NewComplex allocates a zero-filled complex tensor.
+func NewComplex(dims ...int) *ComplexTensor {
+	s := Shape(dims)
+	return &ComplexTensor{shape: s.Clone(), Data: make([]complex64, s.Elems())}
+}
+
+// Shape returns the tensor's shape.
+func (t *ComplexTensor) Shape() Shape { return t.shape }
+
+// Dim returns the extent of dimension i.
+func (t *ComplexTensor) Dim(i int) int { return t.shape[i] }
+
+// Len returns the total number of elements.
+func (t *ComplexTensor) Len() int { return len(t.Data) }
+
+// Bytes returns the storage footprint in bytes (8 bytes per element).
+func (t *ComplexTensor) Bytes() int64 { return int64(len(t.Data)) * 8 }
+
+// Offset converts a multi-index to a flat offset.
+func (t *ComplexTensor) Offset(idx ...int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	acc := 1
+	for i := len(t.shape) - 1; i >= 0; i-- {
+		x := idx[i]
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+		}
+		off += x * acc
+		acc *= t.shape[i]
+	}
+	return off
+}
+
+// At returns the element at the multi-index.
+func (t *ComplexTensor) At(idx ...int) complex64 { return t.Data[t.Offset(idx...)] }
+
+// Set stores v at the multi-index.
+func (t *ComplexTensor) Set(v complex64, idx ...int) { t.Data[t.Offset(idx...)] = v }
+
+// Zero resets every element.
+func (t *ComplexTensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}

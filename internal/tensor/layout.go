@@ -1,0 +1,130 @@
+package tensor
+
+import "fmt"
+
+// Layout identifies how a 4-D activation tensor is ordered in memory.
+// The unrolling-based engines use NCHW (Caffe's layout); cuda-convnet2
+// uses CHWN; fbfft transposes BDHW (=NCHW) to HWBD around its CGEMM.
+type Layout int
+
+const (
+	// NCHW orders batch, channel, height, width — outermost to innermost.
+	NCHW Layout = iota
+	// CHWN orders channel, height, width, batch (cuda-convnet2's layout).
+	CHWN
+	// HWNC orders height, width, batch, channel (fbfft's CGEMM layout,
+	// called HWBD in the paper).
+	HWNC
+)
+
+// String returns the conventional name of the layout.
+func (l Layout) String() string {
+	switch l {
+	case NCHW:
+		return "NCHW"
+	case CHWN:
+		return "CHWN"
+	case HWNC:
+		return "HWNC"
+	}
+	return fmt.Sprintf("Layout(%d)", int(l))
+}
+
+// ToCHWN converts an NCHW tensor to CHWN order, returning a new tensor
+// with shape (C, H, W, N).
+func ToCHWN(t *Tensor) *Tensor {
+	if t.Rank() != 4 {
+		panic("tensor: ToCHWN requires a rank-4 tensor")
+	}
+	n, c, h, w := t.Dim(0), t.Dim(1), t.Dim(2), t.Dim(3)
+	out := New(c, h, w, n)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			for ih := 0; ih < h; ih++ {
+				src := t.Data[((in*c+ic)*h+ih)*w:]
+				for iw := 0; iw < w; iw++ {
+					out.Data[((ic*h+ih)*w+iw)*n+in] = src[iw]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FromCHWN converts a CHWN tensor (shape C,H,W,N) back to NCHW order.
+func FromCHWN(t *Tensor) *Tensor {
+	if t.Rank() != 4 {
+		panic("tensor: FromCHWN requires a rank-4 tensor")
+	}
+	c, h, w, n := t.Dim(0), t.Dim(1), t.Dim(2), t.Dim(3)
+	out := New(n, c, h, w)
+	for ic := 0; ic < c; ic++ {
+		for ih := 0; ih < h; ih++ {
+			for iw := 0; iw < w; iw++ {
+				src := t.Data[((ic*h+ih)*w+iw)*n:]
+				for in := 0; in < n; in++ {
+					out.Data[((in*c+ic)*h+ih)*w+iw] = src[in]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ToHWNC converts an NCHW tensor to HWNC order, returning a new tensor
+// with shape (H, W, N, C). fbfft uses this transposition so that its
+// frequency-domain CGEMM reads contiguous (N, C) panels per pixel.
+func ToHWNC(t *Tensor) *Tensor {
+	if t.Rank() != 4 {
+		panic("tensor: ToHWNC requires a rank-4 tensor")
+	}
+	n, c, h, w := t.Dim(0), t.Dim(1), t.Dim(2), t.Dim(3)
+	out := New(h, w, n, c)
+	for in := 0; in < n; in++ {
+		for ic := 0; ic < c; ic++ {
+			for ih := 0; ih < h; ih++ {
+				src := t.Data[((in*c+ic)*h+ih)*w:]
+				for iw := 0; iw < w; iw++ {
+					out.Data[((ih*w+iw)*n+in)*c+ic] = src[iw]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FromHWNC converts an HWNC tensor (shape H,W,N,C) back to NCHW order.
+func FromHWNC(t *Tensor) *Tensor {
+	if t.Rank() != 4 {
+		panic("tensor: FromHWNC requires a rank-4 tensor")
+	}
+	h, w, n, c := t.Dim(0), t.Dim(1), t.Dim(2), t.Dim(3)
+	out := New(n, c, h, w)
+	for ih := 0; ih < h; ih++ {
+		for iw := 0; iw < w; iw++ {
+			for in := 0; in < n; in++ {
+				src := t.Data[((ih*w+iw)*n+in)*c:]
+				for ic := 0; ic < c; ic++ {
+					out.Data[((in*c+ic)*h+ih)*w+iw] = src[ic]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a rank-2 tensor.
+func Transpose2D(t *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic("tensor: Transpose2D requires a rank-2 tensor")
+	}
+	r, c := t.Dim(0), t.Dim(1)
+	out := New(c, r)
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		for j := 0; j < c; j++ {
+			out.Data[j*r+i] = row[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package tensor
+
+// RNG is a small deterministic pseudo-random generator (xorshift64*)
+// used to fill tensors with reproducible synthetic data. It is not
+// cryptographically secure and does not need to be; benchmark inputs
+// only need to be well-spread and deterministic across runs.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (0 is remapped to a fixed
+// non-zero constant because xorshift cannot escape the all-zero state).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / float32(1<<24)
+}
+
+// Normalish returns a roughly normal value with mean 0 and standard
+// deviation near 1, via the sum of uniforms (Irwin–Hall with n=12).
+func (r *RNG) Normalish() float32 {
+	var s float32
+	for i := 0; i < 12; i++ {
+		s += r.Float32()
+	}
+	return s - 6
+}
+
+// Intn returns a uniform integer in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn requires n > 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// FillUniform fills t with uniform values in [lo, hi).
+func (t *Tensor) FillUniform(r *RNG, lo, hi float32) {
+	span := hi - lo
+	for i := range t.Data {
+		t.Data[i] = lo + span*r.Float32()
+	}
+}
+
+// FillNormal fills t with approximately normal values scaled by sigma.
+func (t *Tensor) FillNormal(r *RNG, sigma float32) {
+	for i := range t.Data {
+		t.Data[i] = sigma * r.Normalish()
+	}
+}

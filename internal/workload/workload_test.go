@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"testing"
+
+	"gpucnn/internal/conv"
+	"gpucnn/internal/tensor"
+)
+
+func TestBaseConfig(t *testing.T) {
+	b := Base()
+	if b.String() != "(64,128,64,11,1)" {
+		t.Fatalf("base config = %v, want the paper's (64,128,64,11,1)", b)
+	}
+	if b.Channels != 3 {
+		t.Fatalf("base channels = %d, want 3", b.Channels)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepRangesMatchPaper(t *testing.T) {
+	// Paper: batch 32–512 step 32, input 32–256 step 16, filters
+	// 32–512 step 16, kernel and stride sweeps around the base.
+	bs := BatchSweep()
+	if bs[0].Batch != 32 || bs[len(bs)-1].Batch != 512 || len(bs) != 16 {
+		t.Errorf("batch sweep wrong: %d cfgs, first %d last %d", len(bs), bs[0].Batch, bs[len(bs)-1].Batch)
+	}
+	is := InputSweep()
+	if is[0].Input != 32 || is[len(is)-1].Input != 256 || len(is) != 15 {
+		t.Errorf("input sweep wrong: %d cfgs", len(is))
+	}
+	fs := FilterSweep()
+	if fs[0].Filters != 32 || fs[len(fs)-1].Filters != 512 || len(fs) != 31 {
+		t.Errorf("filter sweep wrong: %d cfgs", len(fs))
+	}
+	ks := KernelSweep()
+	if ks[0].Kernel != 3 || ks[len(ks)-1].Kernel != 15 {
+		t.Errorf("kernel sweep wrong: %v", ks)
+	}
+	ss := StrideSweep()
+	if len(ss) != 4 || ss[0].Stride != 1 || ss[3].Stride != 4 {
+		t.Errorf("stride sweep wrong: %v", ss)
+	}
+}
+
+func TestSweepsOnlyVaryOneParameter(t *testing.T) {
+	base := Base()
+	for name, cfgs := range Sweeps() {
+		for _, cfg := range cfgs {
+			diff := 0
+			if cfg.Batch != base.Batch {
+				diff++
+			}
+			if cfg.Input != base.Input {
+				diff++
+			}
+			if cfg.Filters != base.Filters {
+				diff++
+			}
+			if cfg.Kernel != base.Kernel {
+				diff++
+			}
+			if cfg.Stride != base.Stride {
+				diff++
+			}
+			if diff > 1 {
+				t.Errorf("%s sweep config %v varies %d parameters", name, cfg, diff)
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Errorf("%s sweep contains invalid config %v: %v", name, cfg, err)
+			}
+		}
+	}
+}
+
+func TestSweptValue(t *testing.T) {
+	cfg := conv.Config{Batch: 1, Input: 2, Channels: 3, Filters: 4, Kernel: 5, Stride: 6}
+	cases := map[string]int{"batch": 1, "input": 2, "filter": 4, "kernel": 5, "stride": 6}
+	for name, want := range cases {
+		if got := SweptValue(name, cfg); got != want {
+			t.Errorf("SweptValue(%s) = %d, want %d", name, got, want)
+		}
+	}
+	if SweptValue("bogus", cfg) != 0 {
+		t.Error("unknown sweep should yield 0")
+	}
+}
+
+func TestSweepNamesCoverSweeps(t *testing.T) {
+	names := SweepNames()
+	sweeps := Sweeps()
+	if len(names) != len(sweeps) {
+		t.Fatalf("%d names for %d sweeps", len(names), len(sweeps))
+	}
+	for _, n := range names {
+		if _, ok := sweeps[n]; !ok {
+			t.Errorf("sweep name %q has no sweep", n)
+		}
+	}
+}
+
+func TestSyntheticTensorsDeterministic(t *testing.T) {
+	cfg := Base()
+	cfg.Batch, cfg.Input = 2, 16
+	x1, w1 := SyntheticTensors(cfg, 42)
+	x2, w2 := SyntheticTensors(cfg, 42)
+	if tensor.MaxAbsDiff(x1, x2) != 0 || tensor.MaxAbsDiff(w1, w2) != 0 {
+		t.Fatal("same seed must give identical tensors")
+	}
+	x3, _ := SyntheticTensors(cfg, 43)
+	if tensor.MaxAbsDiff(x1, x3) == 0 {
+		t.Fatal("different seeds should differ")
+	}
+	if !x1.Shape().Equal(cfg.InputShape()) || !w1.Shape().Equal(cfg.FilterShape()) {
+		t.Fatal("wrong shapes")
+	}
+}
+
+func TestSyntheticBatchLabels(t *testing.T) {
+	x, labels := SyntheticBatch(32, 3, 16, 10, 7)
+	if !x.Shape().Equal(tensor.Shape{32, 3, 16, 16}) {
+		t.Fatalf("batch shape %v", x.Shape())
+	}
+	if len(labels) != 32 {
+		t.Fatalf("%d labels", len(labels))
+	}
+	for _, l := range labels {
+		if l < 0 || l >= 10 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	if !x.AllFinite() {
+		t.Fatal("non-finite synthetic data")
+	}
+}
+
+func TestTableIChannels(t *testing.T) {
+	want := []int{3, 64, 128, 128, 384}
+	for i, nc := range TableI() {
+		if nc.Cfg.Channels != want[i] {
+			t.Errorf("%s channels = %d, want %d", nc.Name, nc.Cfg.Channels, want[i])
+		}
+	}
+}
