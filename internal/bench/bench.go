@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"gpucnn/internal/conv"
 	"gpucnn/internal/gpusim"
 	"gpucnn/internal/impls"
+	"gpucnn/internal/telemetry"
 )
 
 // Cell is one (implementation, configuration) measurement.
@@ -56,20 +58,47 @@ func Measure(e impls.Engine, cfg conv.Config) Cell {
 // MeasureOn is Measure on an arbitrary device specification — used by
 // the cross-architecture ablations and the CLI tools' -device flag.
 func MeasureOn(e impls.Engine, cfg conv.Config, spec gpusim.DeviceSpec) Cell {
+	return MeasureCtx(context.Background(), e, cfg, spec)
+}
+
+// MeasureCtx is MeasureOn with telemetry: when the context carries a
+// span or tracer, the measurement runs inside a span holding the full
+// kernel/transfer stream of its iterations, and outcome counters
+// (measurements, OOMs, unsupported shapes) land in the context's
+// registry, if any — regression-visible substrate for the sweeps.
+func MeasureCtx(ctx context.Context, e impls.Engine, cfg conv.Config, spec gpusim.DeviceSpec) Cell {
 	cell := Cell{Impl: e.Name(), Cfg: cfg}
+	_, span := telemetry.StartSpan(ctx, "measure:"+e.Name())
+	span.SetAttr("impl", e.Name()).SetAttr("cfg", fmt.Sprint(cfg))
+	defer span.End()
+	reg := telemetry.RegistryFromContext(ctx)
+	count := func(outcome string) {
+		if reg != nil {
+			reg.Counter("bench_measurements_total",
+				telemetry.Labels{"impl": e.Name(), "outcome": outcome}).Inc()
+		}
+	}
 	if err := e.Supports(cfg.WithDefaults()); err != nil {
 		cell.Unsupported = err.Error()
+		count("unsupported")
 		return cell
 	}
 	dev := gpusim.New(spec)
+	if span != nil {
+		rec := telemetry.NewRecorder()
+		rec.Attach(span)
+		dev.SetSink(rec)
+	}
 	plan, err := e.Plan(dev, cfg)
 	if err != nil {
 		var oom *gpusim.OOMError
 		if errors.As(err, &oom) {
 			cell.OOM = true
+			count("oom")
 			return cell
 		}
 		cell.Unsupported = err.Error()
+		count("unsupported")
 		return cell
 	}
 	defer plan.Release()
@@ -78,9 +107,11 @@ func MeasureOn(e impls.Engine, cfg conv.Config, spec gpusim.DeviceSpec) Cell {
 			var oom *gpusim.OOMError
 			if errors.As(err, &oom) {
 				cell.OOM = true
+				count("oom")
 				return cell
 			}
 			cell.Unsupported = err.Error()
+			count("unsupported")
 			return cell
 		}
 	}
@@ -90,6 +121,9 @@ func MeasureOn(e impls.Engine, cfg conv.Config, spec gpusim.DeviceSpec) Cell {
 		cell.TransferShare = dev.TransferTime().Seconds() / el.Seconds()
 	}
 	cell.Metrics = dev.Prof.WeightedMetrics(5)
+	count("ok")
+	span.SetAttr("time", cell.Time.String()).
+		SetAttr("peak_bytes", fmt.Sprint(cell.PeakBytes))
 	return cell
 }
 

@@ -21,6 +21,24 @@ type Device struct {
 	hiddenTransfer time.Duration // transfers overlapped with compute
 	launches       int64
 	trace          *Trace
+	sink           TraceSink
+}
+
+// SetSink installs (or, with nil, removes) an additional event sink —
+// the hook internal/telemetry's Recorder uses to nest kernel and
+// transfer events under the span that issued them. The sink receives
+// events alongside any EnableTrace recorder.
+func (d *Device) SetSink(s TraceSink) {
+	d.mu.Lock()
+	d.sink = s
+	d.mu.Unlock()
+}
+
+// Sink returns the installed event sink, if any.
+func (d *Device) Sink() TraceSink {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sink
 }
 
 // New creates a device from a spec.
@@ -44,10 +62,17 @@ func (d *Device) Launch(k KernelSpec) (Metrics, error) {
 	start := d.kernelTime + d.transferTime
 	d.kernelTime += m.Duration
 	d.launches++
-	tr := d.trace
+	tr, sink := d.trace, d.sink
 	d.mu.Unlock()
-	if tr != nil {
-		tr.add(TraceEvent{Name: k.Name, Category: "kernel", Start: start, Duration: m.Duration})
+	if tr != nil || sink != nil {
+		e := TraceEvent{Name: k.Name, Category: "kernel", Start: start, Duration: m.Duration,
+			FLOPs: m.FLOPs, DRAMBytes: m.DRAMBytes}
+		if tr != nil {
+			tr.RecordEvent(e)
+		}
+		if sink != nil {
+			sink.RecordEvent(e)
+		}
 	}
 	return m, nil
 }
@@ -86,14 +111,20 @@ func (d *Device) Copy(t Transfer) time.Duration {
 	} else {
 		d.transferTime += dur
 	}
-	tr := d.trace
+	tr, sink := d.trace, d.sink
 	d.mu.Unlock()
-	if tr != nil {
+	if tr != nil || sink != nil {
 		name := "memcpy_HtoD"
 		if t.Async {
 			name = "memcpy_HtoD_async"
 		}
-		tr.add(TraceEvent{Name: name, Category: "transfer", Start: start, Duration: dur})
+		e := TraceEvent{Name: name, Category: "transfer", Start: start, Duration: dur, Bytes: t.Bytes}
+		if tr != nil {
+			tr.RecordEvent(e)
+		}
+		if sink != nil {
+			sink.RecordEvent(e)
+		}
 	}
 	return dur
 }

@@ -90,10 +90,8 @@ func (p *Profiler) Reset() {
 	p.order = nil
 }
 
-// TotalTime returns the summed duration of all recorded launches.
-func (p *Profiler) TotalTime() time.Duration {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// totalLocked sums all recorded launch durations. Callers hold p.mu.
+func (p *Profiler) totalLocked() time.Duration {
 	var t time.Duration
 	for _, k := range p.kernels {
 		t += k.Total
@@ -101,16 +99,32 @@ func (p *Profiler) TotalTime() time.Duration {
 	return t
 }
 
-// Kernels returns all kernel stats sorted by descending total time.
-func (p *Profiler) Kernels() []*KernelStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// kernelsLocked copies all kernel stats sorted by descending total
+// time. Callers hold p.mu; the copies stay valid (and race-free)
+// after release even while concurrent Records continue.
+func (p *Profiler) kernelsLocked() []*KernelStats {
 	out := make([]*KernelStats, 0, len(p.kernels))
 	for _, name := range p.order {
-		out = append(out, p.kernels[name])
+		c := *p.kernels[name]
+		out = append(out, &c)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Total > out[j].Total })
 	return out
+}
+
+// TotalTime returns the summed duration of all recorded launches.
+func (p *Profiler) TotalTime() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.totalLocked()
+}
+
+// Kernels returns a snapshot of all kernel stats sorted by descending
+// total time.
+func (p *Profiler) Kernels() []*KernelStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.kernelsLocked()
 }
 
 // TopKernels returns up to n kernels by descending total time.
@@ -124,14 +138,19 @@ func (p *Profiler) TopKernels(n int) []*KernelStats {
 
 // Shares returns each kernel's fraction of total recorded time, in the
 // same order as Kernels(). This is the quantity behind the paper's
-// Figure 4 pie-style breakdowns.
+// Figure 4 pie-style breakdowns. The total and the kernel list come
+// from one consistent snapshot (a single lock acquisition), so the
+// shares sum to 1 even while concurrent Records land.
 func (p *Profiler) Shares() map[string]float64 {
-	total := p.TotalTime().Seconds()
+	p.mu.Lock()
+	total := p.totalLocked().Seconds()
+	ks := p.kernelsLocked()
+	p.mu.Unlock()
 	out := make(map[string]float64)
 	if total == 0 {
 		return out
 	}
-	for _, k := range p.Kernels() {
+	for _, k := range ks {
 		out[k.Name] = k.Total.Seconds() / total
 	}
 	return out
@@ -176,13 +195,17 @@ func (p *Profiler) WeightedMetrics(topN int) Metrics {
 	return out
 }
 
-// Summary renders an nvprof-like text table of the recorded kernels.
+// Summary renders an nvprof-like text table of the recorded kernels,
+// from one consistent snapshot of the profile.
 func (p *Profiler) Summary() string {
+	p.mu.Lock()
+	total := p.totalLocked().Seconds()
+	ks := p.kernelsLocked()
+	p.mu.Unlock()
 	var b strings.Builder
-	total := p.TotalTime().Seconds()
 	fmt.Fprintf(&b, "%-42s %8s %12s %7s %6s %6s %6s %6s %6s\n",
 		"Kernel", "Launches", "Time", "Share", "Occ%", "IPC", "WEE%", "Gld%", "Shm%")
-	for _, k := range p.Kernels() {
+	for _, k := range ks {
 		m := k.Mean()
 		share := 0.0
 		if total > 0 {

@@ -1,0 +1,134 @@
+package gpusim
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWeightedMetricsSharedEfficiencyWeighting(t *testing.T) {
+	// Two kernels: one touches shared memory (SharedEff > 0), one does
+	// not (nvprof would report no shared_efficiency for it). The Figure 6
+	// methodology averages shared efficiency only over the shared-memory
+	// kernels, but occupancy over all of them, time-weighted.
+	p := NewProfiler()
+	p.Record("shared_kernel", Metrics{
+		Duration: 3 * time.Second, AchievedOccupancy: 0.6, SharedEff: 80,
+	})
+	p.Record("global_kernel", Metrics{
+		Duration: 1 * time.Second, AchievedOccupancy: 0.2, SharedEff: 0,
+	})
+
+	m := p.WeightedMetrics(5)
+	if math.Abs(m.SharedEff-80) > 1e-9 {
+		t.Fatalf("SharedEff = %v, want 80 (averaged only over shared-memory kernels)", m.SharedEff)
+	}
+	// Occupancy is weighted across both: (0.6·3 + 0.2·1) / 4 = 0.5.
+	if math.Abs(m.AchievedOccupancy-0.5) > 1e-9 {
+		t.Fatalf("AchievedOccupancy = %v, want 0.5", m.AchievedOccupancy)
+	}
+	if m.Duration != 4*time.Second {
+		t.Fatalf("Duration = %v, want 4s", m.Duration)
+	}
+}
+
+func TestWeightedMetricsNoSharedKernels(t *testing.T) {
+	p := NewProfiler()
+	p.Record("k", Metrics{Duration: time.Second, AchievedOccupancy: 0.4})
+	if m := p.WeightedMetrics(5); m.SharedEff != 0 {
+		t.Fatalf("SharedEff = %v with no shared-memory kernels, want 0", m.SharedEff)
+	}
+}
+
+func TestWeightedMetricsRespectsTopN(t *testing.T) {
+	// Only the top-N kernels by total time enter the average.
+	p := NewProfiler()
+	p.Record("hot", Metrics{Duration: 10 * time.Second, IPC: 2})
+	p.Record("cold", Metrics{Duration: time.Millisecond, IPC: 100})
+	if m := p.WeightedMetrics(1); math.Abs(m.IPC-2) > 1e-9 {
+		t.Fatalf("top-1 IPC = %v, want 2 (cold kernel excluded)", m.IPC)
+	}
+}
+
+func TestKernelStatsBoundAtRidgePoint(t *testing.T) {
+	spec := TeslaK40c()
+	ridge := spec.PeakGFLOPS() * 1e9 / (spec.MemBandwidthGBps * 1e9)
+
+	below := &KernelStats{FLOPs: ridge * 0.99, DRAMBytes: 1}
+	if got := below.Bound(spec); got != "memory" {
+		t.Fatalf("AI just below the ridge (%v): Bound = %q, want memory", ridge, got)
+	}
+	above := &KernelStats{FLOPs: ridge * 1.01, DRAMBytes: 1}
+	if got := above.Bound(spec); got != "compute" {
+		t.Fatalf("AI just above the ridge (%v): Bound = %q, want compute", ridge, got)
+	}
+	// No DRAM traffic at all (shared-memory-only kernels): compute-bound
+	// by construction, with zero arithmetic intensity reported.
+	none := &KernelStats{FLOPs: 1e9, DRAMBytes: 0}
+	if none.Bound(spec) != "compute" || none.ArithmeticIntensity() != 0 {
+		t.Fatal("zero-DRAM kernel must classify as compute-bound")
+	}
+}
+
+func TestSharesSumToOneUnderConcurrentRecords(t *testing.T) {
+	// Shares() must take its total and kernel list from one consistent
+	// snapshot: with the old two-lock implementation, Records landing
+	// between the two reads made the shares sum above or below 1.
+	p := NewProfiler()
+	p.Record("seed", Metrics{Duration: time.Second})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p.Record("writer", Metrics{Duration: time.Millisecond})
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		sum := 0.0
+		for _, share := range p.Shares() {
+			sum += share
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("shares sum to %v under concurrent records, want 1", sum)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestKernelsReturnsCopies(t *testing.T) {
+	p := NewProfiler()
+	p.Record("k", Metrics{Duration: time.Second})
+	snap := p.Kernels()
+	p.Record("k", Metrics{Duration: time.Second})
+	if snap[0].Launches != 1 {
+		t.Fatal("Kernels() snapshot mutated by a later Record")
+	}
+}
+
+func TestSummaryConsistent(t *testing.T) {
+	p := NewProfiler()
+	p.Record("alpha", Metrics{Duration: 3 * time.Second, AchievedOccupancy: 0.5})
+	p.Record("beta", Metrics{Duration: time.Second})
+	s := p.Summary()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "beta") {
+		t.Fatalf("summary missing kernels:\n%s", s)
+	}
+	if !strings.Contains(s, "75.0%") {
+		t.Fatalf("summary missing the 75%% share:\n%s", s)
+	}
+}

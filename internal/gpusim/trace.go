@@ -14,6 +14,18 @@ type TraceEvent struct {
 	Category string // "kernel" or "transfer"
 	Start    time.Duration
 	Duration time.Duration
+
+	// Work attribution, for sinks that aggregate as well as render.
+	FLOPs     float64 // kernel events
+	DRAMBytes float64 // kernel events
+	Bytes     int64   // transfer events
+}
+
+// TraceSink receives every kernel launch and host↔device copy as it is
+// simulated. The flat Trace implements it; internal/telemetry's
+// Recorder implements it to attach events to a hierarchical span tree.
+type TraceSink interface {
+	RecordEvent(TraceEvent)
 }
 
 // Trace records the device's simulated timeline for visualisation. It
@@ -35,7 +47,8 @@ func (d *Device) EnableTrace() *Trace {
 	return t
 }
 
-func (t *Trace) add(e TraceEvent) {
+// RecordEvent implements TraceSink.
+func (t *Trace) RecordEvent(e TraceEvent) {
 	t.mu.Lock()
 	t.events = append(t.events, e)
 	t.mu.Unlock()
@@ -67,10 +80,32 @@ type chromeEvent struct {
 	Tid  int     `json:"tid"`
 }
 
-// WriteChrome renders the timeline as a Chrome trace-event JSON array,
-// loadable in chrome://tracing or https://ui.perfetto.dev. Kernels and
-// transfers land on separate tracks.
+// WriteChrome renders the timeline as a bare Chrome trace-event JSON
+// array, loadable in chrome://tracing or https://ui.perfetto.dev.
+// Kernels and transfers land on separate tracks. See WriteChromeObject
+// for the {"traceEvents":[...]} object form.
 func (t *Trace) WriteChrome(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t.chromeEvents())
+}
+
+// chromeFile is the object form of the trace-event format. The
+// displayTimeUnit field makes viewers render the microsecond
+// timestamps at full precision ("ns") instead of rounding to ms.
+type chromeFile struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeObject renders the timeline in the trace-event object form
+// {"displayTimeUnit":"ns","traceEvents":[...]}, which Perfetto prefers
+// and which leaves room for the format's top-level metadata fields.
+func (t *Trace) WriteChromeObject(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{DisplayTimeUnit: "ns", TraceEvents: t.chromeEvents()})
+}
+
+func (t *Trace) chromeEvents() []chromeEvent {
 	t.mu.Lock()
 	events := append([]TraceEvent(nil), t.events...)
 	t.mu.Unlock()
@@ -90,6 +125,5 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 			Tid:  tid,
 		})
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return out
 }

@@ -3,7 +3,11 @@ package gpusim
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestTraceRecordsLaunchesAndCopies(t *testing.T) {
@@ -61,5 +65,60 @@ func TestTraceDisabledByDefault(t *testing.T) {
 	tr := d.EnableTrace()
 	if tr.Len() != 0 {
 		t.Fatal("pre-enable launches must not be recorded")
+	}
+}
+
+// goldenUpdate regenerates the golden file when running
+// `go test -run TestTraceChromeObjectGolden -update ./internal/gpusim`.
+var goldenUpdate = flag.Bool("update", false, "rewrite golden files")
+
+func TestTraceChromeObjectGolden(t *testing.T) {
+	// A fixed, fully deterministic timeline: the object form and field
+	// layout of the export are a contract with external trace viewers,
+	// so the exact bytes are pinned in testdata.
+	tr := &Trace{}
+	tr.RecordEvent(TraceEvent{Name: "memcpy_HtoD", Category: "transfer",
+		Start: 0, Duration: 1500 * time.Microsecond, Bytes: 1 << 20})
+	tr.RecordEvent(TraceEvent{Name: "cudnn_gemm", Category: "kernel",
+		Start: 1500 * time.Microsecond, Duration: 4200 * time.Microsecond, FLOPs: 1e9, DRAMBytes: 5e6})
+	tr.RecordEvent(TraceEvent{Name: "fft_r2c", Category: "kernel",
+		Start: 5700 * time.Microsecond, Duration: 800 * time.Microsecond, FLOPs: 2e8, DRAMBytes: 1e6})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeObject(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_object.golden")
+	if *goldenUpdate {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("WriteChromeObject drifted from golden:\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+func TestTraceChromeObjectParses(t *testing.T) {
+	d := New(TeslaK40c())
+	tr := d.EnableTrace()
+	d.MustLaunch(testKernel("k", 1e9))
+	var buf bytes.Buffer
+	if err := tr.WriteChromeObject(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("invalid object-form JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ns" || len(file.TraceEvents) != 1 {
+		t.Fatalf("object form wrong: %+v", file)
 	}
 }

@@ -117,6 +117,7 @@ func (p *convnet2Plan) kernelSpec(name string) gpusim.KernelSpec {
 }
 
 func (p *convnet2Plan) Forward(x, w, y *tensor.Tensor) error {
+	defer beginPhase(p.dev, "forward")()
 	if _, err := p.dev.Launch(p.kernelSpec("filterActs_YxX_color")); err != nil {
 		return err
 	}
@@ -127,6 +128,7 @@ func (p *convnet2Plan) Forward(x, w, y *tensor.Tensor) error {
 }
 
 func (p *convnet2Plan) BackwardData(dy, w, dx *tensor.Tensor) error {
+	defer beginPhase(p.dev, "backward_data")()
 	if _, err := p.dev.Launch(p.kernelSpec("img_acts_color")); err != nil {
 		return err
 	}
@@ -137,6 +139,7 @@ func (p *convnet2Plan) BackwardData(dy, w, dx *tensor.Tensor) error {
 }
 
 func (p *convnet2Plan) BackwardFilter(x, dy, dw *tensor.Tensor) error {
+	defer beginPhase(p.dev, "backward_filter")()
 	if _, err := p.dev.Launch(p.kernelSpec("conv_weight_acts_c_preload")); err != nil {
 		return err
 	}

@@ -135,6 +135,7 @@ func (p *cudnnPlan) gemmDims() (m, n, k int) {
 }
 
 func (p *cudnnPlan) Forward(x, w, y *tensor.Tensor) error {
+	defer beginPhase(p.dev, "forward")()
 	m, n, k := p.gemmDims()
 	if _, err := p.dev.Launch(p.stageSpec(p.passBytes())); err != nil {
 		return err
@@ -149,6 +150,7 @@ func (p *cudnnPlan) Forward(x, w, y *tensor.Tensor) error {
 }
 
 func (p *cudnnPlan) BackwardData(dy, w, dx *tensor.Tensor) error {
+	defer beginPhase(p.dev, "backward_data")()
 	m, n, k := p.gemmDims()
 	if _, err := p.dev.Launch(p.stageSpec(p.passBytes())); err != nil {
 		return err
@@ -163,6 +165,7 @@ func (p *cudnnPlan) BackwardData(dy, w, dx *tensor.Tensor) error {
 }
 
 func (p *cudnnPlan) BackwardFilter(x, dy, dw *tensor.Tensor) error {
+	defer beginPhase(p.dev, "backward_filter")()
 	m, n, k := p.gemmDims()
 	if _, err := p.dev.Launch(p.stageSpec(p.passBytes())); err != nil {
 		return err

@@ -117,6 +117,24 @@ func (b *bufSet) allocTrainingSet(cfg conv.Config, inPlaceGrads, reuseInputGrad,
 	return nil
 }
 
+// phaser is the slice of internal/telemetry's Recorder the engines
+// need: opening a named phase span under whatever span is currently
+// collecting the device's events. Declared locally so impls carries no
+// telemetry dependency.
+type phaser interface {
+	StartPhase(name string) func()
+}
+
+// beginPhase opens a telemetry phase span ("forward", "backward_data",
+// "backward_filter", "h2d") on the device's event sink, returning the
+// closure that ends it. A no-op when no hierarchical sink is installed.
+func beginPhase(dev *gpusim.Device, name string) func() {
+	if ph, ok := dev.Sink().(phaser); ok {
+		return ph.StartPhase(name)
+	}
+	return func() {}
+}
+
 // transferPolicy describes how an implementation moves the input batch
 // to the device each iteration — the behaviour behind Figure 7.
 type transferPolicy struct {
@@ -134,6 +152,7 @@ type transferPolicy struct {
 
 // doTransfer simulates the iteration's host→device traffic.
 func (tp transferPolicy) doTransfer(dev *gpusim.Device, cfg conv.Config) {
+	defer beginPhase(dev, "h2d")()
 	f := tp.factor
 	if f <= 0 {
 		f = 1

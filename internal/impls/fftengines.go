@@ -300,6 +300,7 @@ func (p *fftPlan) pass(inGrids1, inGrids2, outGrids, m, n, k int, inTransformed 
 }
 
 func (p *fftPlan) Forward(x, w, y *tensor.Tensor) error {
+	defer beginPhase(p.dev, "forward")()
 	cfg := p.cfg
 	// y_f = Σ_c X_c · conj(W_fc): per bin an (f×c)·(c×b) product.
 	// Activation and output grids multiply with the overlap-add tile
@@ -316,6 +317,7 @@ func (p *fftPlan) Forward(x, w, y *tensor.Tensor) error {
 }
 
 func (p *fftPlan) BackwardData(dy, w, dx *tensor.Tensor) error {
+	defer beginPhase(p.dev, "backward_data")()
 	cfg := p.cfg
 	// dx_c = Σ_f DY_f · W_fc: per bin a (c×f)·(f×b) product.
 	if err := p.pass(cfg.Batch*cfg.Filters*p.tiles, cfg.Filters*cfg.Channels,
@@ -330,6 +332,7 @@ func (p *fftPlan) BackwardData(dy, w, dx *tensor.Tensor) error {
 }
 
 func (p *fftPlan) BackwardFilter(x, dy, dw *tensor.Tensor) error {
+	defer beginPhase(p.dev, "backward_filter")()
 	cfg := p.cfg
 	// dw_fc = Σ_b X_bc · conj(DY_bf): per bin an (f×b)·(b×c) product
 	// with the batch as the reduction depth; the filter-gradient grids

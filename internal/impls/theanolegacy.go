@@ -83,6 +83,7 @@ func (p *theanoLegacyPlan) spec(name string) gpusim.KernelSpec {
 }
 
 func (p *theanoLegacyPlan) Forward(x, w, y *tensor.Tensor) error {
+	defer beginPhase(p.dev, "forward")()
 	if _, err := p.dev.Launch(p.spec("conv_patch_stack")); err != nil {
 		return err
 	}
@@ -93,6 +94,7 @@ func (p *theanoLegacyPlan) Forward(x, w, y *tensor.Tensor) error {
 }
 
 func (p *theanoLegacyPlan) BackwardData(dy, w, dx *tensor.Tensor) error {
+	defer beginPhase(p.dev, "backward_data")()
 	if _, err := p.dev.Launch(p.spec("conv_grad_input")); err != nil {
 		return err
 	}
@@ -103,6 +105,7 @@ func (p *theanoLegacyPlan) BackwardData(dy, w, dx *tensor.Tensor) error {
 }
 
 func (p *theanoLegacyPlan) BackwardFilter(x, dy, dw *tensor.Tensor) error {
+	defer beginPhase(p.dev, "backward_filter")()
 	if _, err := p.dev.Launch(p.spec("conv_grad_weight")); err != nil {
 		return err
 	}

@@ -191,6 +191,7 @@ func (p *unrollPlan) forwardSim() error {
 }
 
 func (p *unrollPlan) Forward(x, w, y *tensor.Tensor) error {
+	defer beginPhase(p.dev, "forward")()
 	if err := p.forwardSim(); err != nil {
 		return err
 	}
@@ -201,6 +202,7 @@ func (p *unrollPlan) Forward(x, w, y *tensor.Tensor) error {
 }
 
 func (p *unrollPlan) BackwardData(dy, w, dx *tensor.Tensor) error {
+	defer beginPhase(p.dev, "backward_data")()
 	m, n, k := p.gemmDims()
 	for i := 0; i < p.cfg.Batch; i++ {
 		// col = Wᵀ·dy: GEMM of (ck² × o²) with reduction depth f.
@@ -218,6 +220,7 @@ func (p *unrollPlan) BackwardData(dy, w, dx *tensor.Tensor) error {
 }
 
 func (p *unrollPlan) BackwardFilter(x, dy, dw *tensor.Tensor) error {
+	defer beginPhase(p.dev, "backward_filter")()
 	m, n, k := p.gemmDims()
 	for i := 0; i < p.cfg.Batch; i++ {
 		if _, err := p.dev.Launch(p.imSpec(p.engine.p.im2colName, false)); err != nil {

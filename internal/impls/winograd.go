@@ -96,6 +96,7 @@ func (p *winogradPlan) spec(name string) gpusim.KernelSpec {
 }
 
 func (p *winogradPlan) Forward(x, w, y *tensor.Tensor) error {
+	defer beginPhase(p.dev, "forward")()
 	if _, err := p.dev.Launch(p.spec("winograd_fwd_3x3_s1")); err != nil {
 		return err
 	}
@@ -106,6 +107,7 @@ func (p *winogradPlan) Forward(x, w, y *tensor.Tensor) error {
 }
 
 func (p *winogradPlan) BackwardData(dy, w, dx *tensor.Tensor) error {
+	defer beginPhase(p.dev, "backward_data")()
 	if _, err := p.dev.Launch(p.spec("winograd_bwd_data_3x3_s1")); err != nil {
 		return err
 	}
@@ -118,6 +120,7 @@ func (p *winogradPlan) BackwardData(dy, w, dx *tensor.Tensor) error {
 }
 
 func (p *winogradPlan) BackwardFilter(x, dy, dw *tensor.Tensor) error {
+	defer beginPhase(p.dev, "backward_filter")()
 	if _, err := p.dev.Launch(p.spec("winograd_bwd_filter_3x3_s1")); err != nil {
 		return err
 	}

@@ -14,12 +14,14 @@
 package multigpu
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"gpucnn/internal/conv"
 	"gpucnn/internal/gpusim"
 	"gpucnn/internal/impls"
+	"gpucnn/internal/telemetry"
 )
 
 // Cluster is a set of identical simulated GPUs on one PCIe root.
@@ -73,6 +75,17 @@ type Result struct {
 // divide; remainders would unbalance the ring), each device runs its
 // shard, and the filter gradients are all-reduced.
 func (c *Cluster) Iteration(e impls.Engine, cfg conv.Config) (Result, error) {
+	return c.IterationCtx(context.Background(), e, cfg)
+}
+
+// IterationCtx is Iteration with telemetry: when the context carries a
+// span (or tracer), every replica's kernel stream lands in its own
+// process lane under a per-replica span, and the gradient all-reduce
+// appears as a sync span after the slowest replica — the view that
+// makes the conv-scales/FC-stalls behaviour visible on a timeline.
+// Counters for sharded iterations, all-reduced bytes and sync time land
+// in the context's registry, if any.
+func (c *Cluster) IterationCtx(ctx context.Context, e impls.Engine, cfg conv.Config) (Result, error) {
 	n := len(c.Devices)
 	cfg = cfg.WithDefaults()
 	if cfg.Batch%n != 0 {
@@ -84,24 +97,50 @@ func (c *Cluster) Iteration(e impls.Engine, cfg conv.Config) (Result, error) {
 		return Result{}, fmt.Errorf("multigpu: shard unsupported: %w", err)
 	}
 
+	_, span := telemetry.StartSpan(ctx, "multigpu.iteration")
+	span.SetAttr("impl", e.Name()).SetAttr("devices", fmt.Sprint(n))
+	defer span.End()
+
 	var slowest time.Duration
-	for _, dev := range c.Devices {
+	for i, dev := range c.Devices {
 		dev.ResetClock()
+		rsp := span.Child(fmt.Sprintf("replica-%d", i)).SetProc(i).
+			SetAttr("shard_batch", fmt.Sprint(shard.Batch))
+		if rsp != nil {
+			rec := telemetry.NewRecorder()
+			rec.Attach(rsp)
+			dev.SetSink(rec)
+		}
 		plan, err := e.Plan(dev, shard)
 		if err != nil {
 			return Result{}, err
 		}
-		if err := plan.Iteration(); err != nil {
-			plan.Release()
+		err = plan.Iteration()
+		plan.Release()
+		el := dev.Elapsed()
+		rsp.SetSim(0, el)
+		rsp.End()
+		dev.SetSink(nil)
+		if err != nil {
 			return Result{}, err
 		}
-		plan.Release()
-		if el := dev.Elapsed(); el > slowest {
+		if el > slowest {
 			slowest = el
 		}
 	}
 	ar := c.AllReduceTime(cfg.FilterBytes())
 	total := slowest + ar
+	span.Child("allreduce").
+		SetAttr("bytes", fmt.Sprint(cfg.FilterBytes())).
+		SetSim(slowest, total).End()
+	span.SetSim(0, total)
+	if reg := telemetry.RegistryFromContext(ctx); reg != nil {
+		labels := telemetry.Labels{"impl": e.Name(), "devices": fmt.Sprint(n)}
+		reg.Counter("multigpu_iterations_total", labels).Inc()
+		reg.Counter("multigpu_allreduce_bytes_total", labels).Add(float64(cfg.FilterBytes()))
+		reg.Counter("multigpu_allreduce_seconds_total", labels).Add(ar.Seconds())
+		reg.Counter("multigpu_compute_seconds_total", labels).Add(slowest.Seconds())
+	}
 
 	// Single-device reference for the speedup.
 	ref := gpusim.New(c.spec)

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"gpucnn/internal/gpusim"
+	"gpucnn/internal/telemetry"
 	"gpucnn/internal/tensor"
 )
 
@@ -91,12 +92,69 @@ type Context struct {
 	// activations (and their gradients, in training mode) would occupy —
 	// accumulated by Net.Forward.
 	ActivationBytes int64
+
+	// Telemetry (all optional): the current parent span, the metrics
+	// registry fed by Net.Forward/Backward, and the device-event
+	// recorder that nests kernel launches under the active span. Wire
+	// them up with AttachTelemetry.
+	Span    *telemetry.Span
+	Metrics *telemetry.Registry
+	Rec     *telemetry.Recorder
 }
 
 // NewContext builds a context. dev may be nil to run pure arithmetic
 // with no simulation.
 func NewContext(dev *gpusim.Device, train bool) *Context {
 	return &Context{Dev: dev, Train: train, RNG: tensor.NewRNG(1), TimeByKind: map[Kind]time.Duration{}}
+}
+
+// AttachTelemetry roots the context's span tree at parent and routes
+// per-layer latency histograms into reg (either may be nil). With a
+// device attached, kernel and transfer events are recorded as leaves of
+// whichever span is active when they launch, and the span tracer's
+// simulated clock follows the device, so layer spans and kernel events
+// share one timeline.
+func (c *Context) AttachTelemetry(parent *telemetry.Span, reg *telemetry.Registry) {
+	c.Span = parent
+	c.Metrics = reg
+	if c.Dev == nil || parent == nil {
+		return
+	}
+	if tr := parent.Tracer(); tr != nil {
+		tr.SetSimClock(c.Dev.Elapsed)
+	}
+	c.Rec = telemetry.NewRecorder()
+	if reg != nil {
+		c.Rec.CountInto(reg, nil)
+	}
+	c.Rec.Attach(parent)
+	c.Dev.SetSink(c.Rec)
+}
+
+// StartSpan opens a child of the context's current span, makes it the
+// attach point for device events, and returns the closure restoring the
+// parent. With no telemetry attached both returns are safe no-ops.
+func (c *Context) StartSpan(name string) (*telemetry.Span, func()) {
+	if c.Span == nil {
+		return nil, func() {}
+	}
+	parent := c.Span
+	sp := parent.Child(name)
+	c.Span = sp
+	c.Rec.Attach(sp)
+	return sp, func() {
+		sp.End()
+		c.Span = parent
+		c.Rec.Attach(parent)
+	}
+}
+
+// simNow samples the simulated device clock (0 without a device).
+func (c *Context) simNow() time.Duration {
+	if c.Dev == nil {
+		return 0
+	}
+	return c.Dev.Elapsed()
 }
 
 // timed runs f and attributes the simulated-clock delta to kind.

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"gpucnn/internal/telemetry"
 	"gpucnn/internal/tensor"
 )
 
@@ -39,11 +40,16 @@ func (n *Net) OutShape(in tensor.Shape) tensor.Shape {
 // Forward runs all layers, accounting each layer's output activation
 // (plus its gradient twin during training) toward the context's
 // activation-byte estimate — the quantity that decides whether a model
-// and batch size fit the device.
+// and batch size fit the device. With telemetry attached each layer
+// runs inside its own span and lands in a per-layer latency histogram.
 func (n *Net) Forward(ctx *Context, x *Value) *Value {
+	_, endPass := ctx.StartSpan("forward")
+	defer endPass()
 	v := x
 	for _, l := range n.Layers {
+		end := n.observeLayer(ctx, l, "forward")
 		v = l.Forward(ctx, v)
+		end()
 		bytes := int64(v.Elems()) * 4
 		if ctx.Train {
 			bytes *= 2 // the backward pass holds the matching gradient
@@ -56,11 +62,52 @@ func (n *Net) Forward(ctx *Context, x *Value) *Value {
 // Backward runs all layers in reverse, starting from the terminal
 // gradient seed (for a SoftmaxLoss tail, pass the forward output shape).
 func (n *Net) Backward(ctx *Context, dy *Value) *Value {
+	_, endPass := ctx.StartSpan("backward")
+	defer endPass()
 	g := dy
 	for i := len(n.Layers) - 1; i >= 0; i-- {
-		g = n.Layers[i].Backward(ctx, g)
+		l := n.Layers[i]
+		end := n.observeLayer(ctx, l, "backward")
+		g = l.Backward(ctx, g)
+		end()
 	}
 	return g
+}
+
+// observeLayer opens the layer's span and returns the closure that ends
+// it and records the layer's latency (simulated when a device drives
+// the clock, host wall time otherwise) into the pass's histogram, plus
+// its attributed device work into per-layer counters.
+func (n *Net) observeLayer(ctx *Context, l Layer, pass string) func() {
+	if ctx.Span == nil && ctx.Metrics == nil {
+		return func() {}
+	}
+	sp, endSpan := ctx.StartSpan(l.Name())
+	sp.SetAttr("kind", string(l.Kind())).SetAttr("pass", pass)
+	simStart := ctx.simNow()
+	wallStart := time.Now()
+	return func() {
+		endSpan()
+		if ctx.Metrics == nil {
+			return
+		}
+		dur := ctx.simNow() - simStart
+		if ctx.Dev == nil {
+			dur = time.Since(wallStart)
+		}
+		labels := telemetry.Labels{
+			"net": n.Name, "layer": l.Name(), "kind": string(l.Kind()),
+		}
+		ctx.Metrics.Help("nn_layer_"+pass+"_seconds",
+			"Per-layer "+pass+" latency (simulated seconds).")
+		ctx.Metrics.Histogram("nn_layer_"+pass+"_seconds", labels, nil).Observe(dur.Seconds())
+		if sp != nil {
+			tot := sp.Totals()
+			ctx.Metrics.Counter("nn_layer_flops_total", labels).Add(tot.FLOPs)
+			ctx.Metrics.Counter("nn_layer_dram_bytes_total", labels).Add(tot.DRAMBytes)
+			ctx.Metrics.Counter("nn_layer_kernels_total", labels).Add(float64(tot.Kernels))
+		}
+	}
 }
 
 // Params collects every learnable parameter.

@@ -1,0 +1,51 @@
+package telemetry
+
+import "context"
+
+type spanKey struct{}
+type tracerKey struct{}
+type registryKey struct{}
+
+// WithTracer returns a context carrying the tracer; StartSpan on it
+// opens root spans.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// WithSpan returns a context carrying the span as the current parent.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// FromContext returns the current span, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// WithRegistry returns a context carrying the metrics registry.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	return context.WithValue(ctx, registryKey{}, r)
+}
+
+// RegistryFromContext returns the context's registry, or nil.
+func RegistryFromContext(ctx context.Context) *Registry {
+	r, _ := ctx.Value(registryKey{}).(*Registry)
+	return r
+}
+
+// StartSpan opens a child of the context's current span (or a root span
+// if the context only carries a tracer) and returns the derived context.
+// With neither present it returns a nil span whose methods all no-op,
+// so instrumented call sites need no conditionals.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if parent := FromContext(ctx); parent != nil {
+		s := parent.Child(name)
+		return WithSpan(ctx, s), s
+	}
+	if t, _ := ctx.Value(tracerKey{}).(*Tracer); t != nil {
+		s := t.Root(name)
+		return WithSpan(ctx, s), s
+	}
+	return ctx, nil
+}

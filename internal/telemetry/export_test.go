@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func exportRegistry() *Registry {
+	r := NewRegistry()
+	r.Help("reqs_total", "Requests.")
+	r.Counter("reqs_total", Labels{"impl": "cuDNN"}).Add(3)
+	r.Gauge("mem_bytes", nil).Set(1024)
+	h := r.Histogram("lat_seconds", Labels{"layer": "conv1"}, []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var b strings.Builder
+	if err := exportRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP reqs_total Requests.",
+		"# TYPE reqs_total counter",
+		`reqs_total{impl="cuDNN"} 3`,
+		"# TYPE mem_bytes gauge",
+		"mem_bytes 1024",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{layer="conv1",le="0.001"} 1`,
+		`lat_seconds_bucket{layer="conv1",le="0.01"} 1`,
+		`lat_seconds_bucket{layer="conv1",le="+Inf"} 2`,
+		`lat_seconds_sum{layer="conv1"} 0.5005`,
+		`lat_seconds_count{layer="conv1"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	var b strings.Builder
+	if err := exportRegistry().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if snap.Counters[`reqs_total{impl="cuDNN"}`] != 3 {
+		t.Fatalf("counters %v", snap.Counters)
+	}
+	if snap.Gauges["mem_bytes"] != 1024 {
+		t.Fatalf("gauges %v", snap.Gauges)
+	}
+	h, ok := snap.Histograms[`lat_seconds{layer="conv1"}`]
+	if !ok || h.Count != 2 {
+		t.Fatalf("histograms %v", snap.Histograms)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	reg := exportRegistry()
+	tr := NewTracer()
+	s := tr.Root("run")
+	s.AddEvent(Event{Name: "k", Cat: "kernel", Dur: time.Millisecond})
+	s.End()
+	h := Handler(reg, tr)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		return w
+	}
+
+	if w := get("/metrics"); w.Code != 200 ||
+		!strings.Contains(w.Body.String(), "reqs_total") ||
+		!strings.HasPrefix(w.Header().Get("Content-Type"), "text/plain") {
+		t.Fatalf("/metrics: code=%d type=%q", w.Code, w.Header().Get("Content-Type"))
+	}
+	if w := get("/metrics?format=json"); !strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		t.Fatal("/metrics?format=json should return JSON")
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(get("/metrics.json").Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/metrics.json invalid: %v", err)
+	}
+	var trace map[string]any
+	if err := json.Unmarshal(get("/trace").Body.Bytes(), &trace); err != nil {
+		t.Fatalf("/trace invalid: %v", err)
+	}
+	if _, ok := trace["traceEvents"]; !ok {
+		t.Fatal("/trace missing traceEvents")
+	}
+}

@@ -1,0 +1,268 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels are the constant label set of one metric series.
+type Labels map[string]string
+
+// render serialises labels in sorted order for series identity and
+// Prometheus output ("" for the empty set).
+func (l Labels) render(extra ...string) string {
+	if len(l) == 0 && len(extra) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	// extra holds pre-rendered k="v" pairs (the histogram le label).
+	for i, kv := range extra {
+		if i > 0 || len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (l Labels) clone() Labels {
+	c := make(Labels, len(l))
+	for k, v := range l {
+		c[k] = v
+	}
+	return c
+}
+
+// Registry is a process-wide collection of counters, gauges and
+// histograms. Series are identified by name plus label set; asking for
+// the same series twice returns the same instrument. Safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family // by metric name
+	order    []string           // family registration order
+}
+
+type family struct {
+	name   string
+	typ    string // "counter", "gauge", "histogram"
+	help   string
+	series map[string]any // by rendered labels
+	sorder []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var std = NewRegistry()
+
+// Default returns the process-wide registry, for code without a
+// registry of its own.
+func Default() *Registry { return std }
+
+// Help sets the # HELP text of a metric family.
+func (r *Registry) Help(name, text string) *Registry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.families[name]; f != nil {
+		f.help = text
+	} else {
+		r.families[name] = &family{name: name, help: text, series: make(map[string]any)}
+		r.order = append(r.order, name)
+	}
+	return r
+}
+
+// lookup finds or creates the series, enforcing one type per family.
+func (r *Registry) lookup(name, typ string, labels Labels, make_ func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, typ: typ, series: make(map[string]any)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.typ == "" {
+		f.typ = typ // family pre-created by Help
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	key := labels.render()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := make_()
+	f.series[key] = s
+	f.sorder = append(f.sorder, key)
+	return s
+}
+
+// Counter returns the monotonically increasing series.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	return r.lookup(name, "counter", labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the set-to-current-value series.
+func (r *Registry) Gauge(name string, labels Labels) *Gauge {
+	return r.lookup(name, "gauge", labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the bucketed-distribution series. The bucket bounds
+// of the first registration win; later calls may pass nil.
+func (r *Registry) Histogram(name string, labels Labels, buckets []float64) *Histogram {
+	return r.lookup(name, "histogram", labels, func() any {
+		if len(buckets) == 0 {
+			buckets = DefaultLatencyBuckets
+		}
+		bs := append([]float64(nil), buckets...)
+		sort.Float64s(bs)
+		return &Histogram{buckets: bs, counts: make([]uint64, len(bs))}
+	}).(*Histogram)
+}
+
+// ExpBuckets builds n exponentially growing bucket bounds:
+// start, start·factor, start·factor², …
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets requires start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefaultLatencyBuckets spans 1 µs … ~8 s in powers of two — wide
+// enough for a single elementwise kernel up to a full VGG iteration.
+var DefaultLatencyBuckets = ExpBuckets(1e-6, 2, 24)
+
+// Counter is a monotonically increasing float64 (atomic).
+type Counter struct{ bits atomic.Uint64 }
+
+// Add increases the counter; negative deltas are ignored.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		if c.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is an instantaneous float64 (atomic).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the value by a (possibly negative) delta.
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into exponential (or caller-chosen)
+// buckets, Prometheus-style: cumulative on export, with sum and count.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []float64 // upper bounds, ascending
+	counts  []uint64  // per-bucket (non-cumulative)
+	inf     uint64    // observations above the last bound
+	sum     float64
+	count   uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.count++
+	i := sort.SearchFloat64s(h.buckets, v)
+	if i == len(h.buckets) {
+		h.inf++
+		return
+	}
+	h.counts[i]++
+}
+
+// HistogramSnapshot is a consistent copy of a histogram's state with
+// cumulative bucket counts (the Prometheus le semantics).
+type HistogramSnapshot struct {
+	Bounds     []float64 `json:"bounds"`
+	Cumulative []uint64  `json:"cumulative"`
+	Sum        float64   `json:"sum"`
+	Count      uint64    `json:"count"`
+}
+
+// Snapshot copies the histogram state under one lock acquisition.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{
+		Bounds:     append([]float64(nil), h.buckets...),
+		Cumulative: make([]uint64, len(h.counts)),
+		Sum:        h.sum,
+		Count:      h.count,
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		s.Cumulative[i] = cum
+	}
+	return s
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", Labels{"impl": "cuDNN"})
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-5) // counters are monotonic; negative deltas dropped
+	if c.Value() != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", c.Value())
+	}
+	// Same name+labels returns the same series.
+	if r.Counter("reqs_total", Labels{"impl": "cuDNN"}) != c {
+		t.Fatal("series identity broken")
+	}
+	// Different labels are a different series.
+	if r.Counter("reqs_total", Labels{"impl": "fbfft"}) == c {
+		t.Fatal("label sets collided")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("mem_bytes", nil)
+	g.Set(100)
+	g.Add(-30)
+	if g.Value() != 70 {
+		t.Fatalf("gauge = %v, want 70", g.Value())
+	}
+}
+
+func TestHistogramCumulativeSnapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", nil, []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if len(s.Bounds) != 3 || s.Bounds[0] != 1 {
+		t.Fatalf("bounds %v", s.Bounds)
+	}
+	// le semantics: cumulative counts per upper bound.
+	want := []uint64{2, 3, 4}
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Fatalf("cumulative %v, want %v", s.Cumulative, want)
+		}
+	}
+	if s.Count != 5 || s.Sum != 556 {
+		t.Fatalf("count=%d sum=%v", s.Count, s.Sum)
+	}
+	if h.Count() != 5 || h.Sum() != 556 {
+		t.Fatal("Count/Sum accessors disagree with snapshot")
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", nil, nil)
+	if got := len(h.Snapshot().Bounds); got != len(DefaultLatencyBuckets) {
+		t.Fatalf("%d default bounds", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 2, 4)
+	want := []float64{1e-6, 2e-6, 4e-6, 8e-6}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-18 {
+			t.Fatalf("buckets %v, want %v", b, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExpBuckets(0, 2, 1) should panic")
+		}
+	}()
+	ExpBuckets(0, 2, 1)
+}
+
+func TestLabelsRenderSortedAndEscaped(t *testing.T) {
+	l := Labels{"b": "two", "a": `with "quote"`}
+	got := l.render()
+	want := `{a="with \"quote\"",b="two"}`
+	if got != want {
+		t.Fatalf("render = %s, want %s", got, want)
+	}
+	if (Labels{}).render() != "" {
+		t.Fatal("empty labels should render empty")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as gauge after counter should panic")
+		}
+	}()
+	r.Gauge("m", nil)
+}
+
+func TestDefaultRegistry(t *testing.T) {
+	if Default() == nil || Default() != Default() {
+		t.Fatal("Default registry must be a stable singleton")
+	}
+}
+
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c", Labels{"l": "x"}).Inc()
+				r.Gauge("g", nil).Add(1)
+				r.Histogram("h", nil, nil).Observe(1e-5)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("c", Labels{"l": "x"}).Value(); v != 4000 {
+		t.Fatalf("counter = %v, want 4000", v)
+	}
+	if v := r.Gauge("g", nil).Value(); v != 4000 {
+		t.Fatalf("gauge = %v, want 4000", v)
+	}
+	if n := r.Histogram("h", nil, nil).Count(); n != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", n)
+	}
+}

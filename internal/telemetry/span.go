@@ -1,0 +1,360 @@
+// Package telemetry is the observability layer of the reproduction: a
+// hierarchical span tracer and a process-wide metrics registry over the
+// simulated GPU stack. Where internal/gpusim's Profiler answers "which
+// kernels were hot" (the paper's Figure 4) and its flat Trace answers
+// "when did each kernel run", telemetry answers "which *layer* of which
+// *model*, in which *pass*, launched them" — the layer-attributed view
+// that DeLTA-style performance models and the fbfft evaluation's
+// per-phase (fwd/bgrad/wgrad) methodology both depend on.
+//
+// Spans nest run → model → pass → layer → phase, with the simulated
+// device's kernel and transfer events attached as leaves; the tree
+// exports to Chrome trace-event JSON (chrome.go). Counters, gauges and
+// latency histograms live in a Registry (metrics.go) with Prometheus
+// text-format and JSON exporters plus an HTTP handler (export.go).
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is a leaf timeline entry inside a span: one simulated kernel
+// launch or host↔device transfer, positioned on the device clock.
+type Event struct {
+	Name      string
+	Cat       string // "kernel" or "transfer"
+	Start     time.Duration
+	Dur       time.Duration
+	FLOPs     float64
+	DRAMBytes float64
+	Bytes     int64 // transferred bytes (transfers only)
+}
+
+// Totals aggregates the device work under a span (recursively).
+type Totals struct {
+	Kernels   int
+	Transfers int
+	FLOPs     float64
+	DRAMBytes float64
+	CopyBytes int64
+	SimTime   time.Duration // summed event durations
+}
+
+// Tracer owns a forest of spans. It is safe for concurrent use.
+type Tracer struct {
+	mu       sync.Mutex
+	roots    []*Span
+	simClock func() time.Duration
+	epoch    time.Time
+	nextID   atomic.Uint64
+}
+
+// NewTracer creates an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// SetSimClock attaches the simulated clock (typically
+// gpusim.Device.Elapsed) sampled at every span start and end, so spans
+// line up with the kernel events on one simulated timeline. Without a
+// clock, spans fall back to host wall offsets from tracer creation.
+func (t *Tracer) SetSimClock(f func() time.Duration) {
+	t.mu.Lock()
+	t.simClock = f
+	t.mu.Unlock()
+}
+
+// simNow samples the simulated clock (0 without one).
+func (t *Tracer) simNow() (time.Duration, bool) {
+	t.mu.Lock()
+	f := t.simClock
+	t.mu.Unlock()
+	if f == nil {
+		return 0, false
+	}
+	return f(), true
+}
+
+// Root starts a new top-level span.
+func (t *Tracer) Root(name string) *Span {
+	s := t.newSpan(name, 0)
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Roots returns the top-level spans recorded so far.
+func (t *Tracer) Roots() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+func (t *Tracer) newSpan(name string, proc int) *Span {
+	s := &Span{
+		tracer:    t,
+		id:        t.nextID.Add(1),
+		name:      name,
+		proc:      proc,
+		wallStart: time.Now(),
+	}
+	if sim, ok := t.simNow(); ok {
+		s.simStart, s.simEnd = sim, sim
+	}
+	return s
+}
+
+// EventCount returns the total number of leaf events in the forest.
+func (t *Tracer) EventCount() int {
+	n := 0
+	for _, r := range t.Roots() {
+		tot := r.Totals()
+		n += tot.Kernels + tot.Transfers
+	}
+	return n
+}
+
+// Span is one node of the trace tree. All methods are nil-safe so
+// instrumented code paths cost nothing when tracing is disabled.
+type Span struct {
+	tracer *Tracer
+	id     uint64
+	name   string
+
+	mu       sync.Mutex
+	proc     int // process lane in the Chrome export (multi-GPU replicas)
+	attrs    map[string]string
+	wallStart time.Time
+	wallDur   time.Duration
+	simStart  time.Duration
+	simEnd    time.Duration
+	ended     bool
+	children  []*Span
+	events    []Event
+}
+
+// Tracer returns the owning tracer (nil for a nil span).
+func (s *Span) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tracer
+}
+
+// Name returns the span name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Child starts a nested span, inheriting the parent's process lane.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	proc := s.proc
+	s.mu.Unlock()
+	c := s.tracer.newSpan(name, proc)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr records a key=value attribute, returned in exports.
+func (s *Span) SetAttr(k, v string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[k] = v
+	s.mu.Unlock()
+	return s
+}
+
+// Attr reads an attribute back.
+func (s *Span) Attr(k string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attrs[k]
+}
+
+// SetProc assigns the span (and future children) to a Chrome process
+// lane — one lane per simulated device in multi-GPU traces.
+func (s *Span) SetProc(p int) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.proc = p
+	s.mu.Unlock()
+	return s
+}
+
+// SetSim pins the span's simulated interval explicitly, overriding the
+// tracer clock — needed when spans cover devices with independent
+// clocks (multi-GPU replicas).
+func (s *Span) SetSim(start, end time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.simStart, s.simEnd = start, end
+	s.mu.Unlock()
+	return s
+}
+
+// End closes the span, capturing wall duration and the simulated clock.
+// Ending twice is harmless (first end wins).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	sim, ok := s.tracer.simNow()
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.wallDur = time.Since(s.wallStart)
+		if ok && sim > s.simEnd {
+			s.simEnd = sim
+		}
+	}
+	s.mu.Unlock()
+}
+
+// AddEvent attaches a leaf device event. Thread-safe.
+func (s *Span) AddEvent(e Event) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	if end := e.Start + e.Dur; end > s.simEnd {
+		s.simEnd = end
+	}
+	s.mu.Unlock()
+}
+
+// Children returns the nested spans.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Events returns the span's own leaf events.
+func (s *Span) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// WallDuration returns the host wall time the span covered (zero until
+// End).
+func (s *Span) WallDuration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wallDur
+}
+
+// SimInterval returns the simulated-clock interval the span covered.
+func (s *Span) SimInterval() (start, end time.Duration) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.simStart, s.simEnd
+}
+
+// SimDuration returns the simulated time the span covered.
+func (s *Span) SimDuration() time.Duration {
+	start, end := s.SimInterval()
+	if end < start {
+		return 0
+	}
+	return end - start
+}
+
+// Totals aggregates device work over the span and all descendants.
+func (s *Span) Totals() Totals {
+	var tot Totals
+	s.accumulate(&tot)
+	return tot
+}
+
+func (s *Span) accumulate(tot *Totals) {
+	if s == nil {
+		return
+	}
+	for _, e := range s.Events() {
+		if e.Cat == "transfer" {
+			tot.Transfers++
+			tot.CopyBytes += e.Bytes
+		} else {
+			tot.Kernels++
+		}
+		tot.FLOPs += e.FLOPs
+		tot.DRAMBytes += e.DRAMBytes
+		tot.SimTime += e.Dur
+	}
+	for _, c := range s.Children() {
+		c.accumulate(tot)
+	}
+}
+
+// Walk visits the span and its descendants depth-first, reporting each
+// node's depth (the span itself is depth 0).
+func (s *Span) Walk(fn func(depth int, s *Span)) {
+	if s == nil {
+		return
+	}
+	s.walk(0, fn)
+}
+
+func (s *Span) walk(depth int, fn func(int, *Span)) {
+	fn(depth, s)
+	for _, c := range s.Children() {
+		c.walk(depth+1, fn)
+	}
+}
+
+// Depth returns the maximum nesting depth under the span, counting leaf
+// device events as one extra level (a root with one layer span holding
+// kernels has depth 3).
+func (s *Span) Depth() int {
+	if s == nil {
+		return 0
+	}
+	d := 1
+	if len(s.Events()) > 0 {
+		d = 2
+	}
+	for _, c := range s.Children() {
+		if cd := c.Depth() + 1; cd > d {
+			d = cd
+		}
+	}
+	return d
+}

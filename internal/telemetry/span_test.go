@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNestingAndAttrs(t *testing.T) {
+	tr := NewTracer()
+	run := tr.Root("run").SetAttr("impl", "cuDNN")
+	model := run.Child("model")
+	layer := model.Child("conv1").SetAttr("kind", "Conv")
+
+	if run.Attr("impl") != "cuDNN" || layer.Attr("kind") != "Conv" {
+		t.Fatal("attributes not stored")
+	}
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0] != run {
+		t.Fatalf("roots = %v", roots)
+	}
+	if cs := run.Children(); len(cs) != 1 || cs[0] != model {
+		t.Fatal("child not registered")
+	}
+
+	var names []string
+	var depths []int
+	run.Walk(func(d int, s *Span) {
+		depths = append(depths, d)
+		names = append(names, s.Name())
+	})
+	if fmt.Sprint(names) != "[run model conv1]" || fmt.Sprint(depths) != "[0 1 2]" {
+		t.Fatalf("walk order %v depths %v", names, depths)
+	}
+	if run.Depth() != 3 {
+		t.Fatalf("Depth = %d, want 3", run.Depth())
+	}
+	layer.AddEvent(Event{Name: "k", Cat: "kernel", Dur: time.Millisecond})
+	if run.Depth() != 4 {
+		t.Fatalf("Depth with leaf events = %d, want 4", run.Depth())
+	}
+}
+
+func TestSimClockSampledAtStartAndEnd(t *testing.T) {
+	tr := NewTracer()
+	var now time.Duration
+	tr.SetSimClock(func() time.Duration { return now })
+
+	now = 10 * time.Millisecond
+	s := tr.Root("span")
+	now = 35 * time.Millisecond
+	s.End()
+
+	start, end := s.SimInterval()
+	if start != 10*time.Millisecond || end != 35*time.Millisecond {
+		t.Fatalf("interval [%v, %v], want [10ms, 35ms]", start, end)
+	}
+	if s.SimDuration() != 25*time.Millisecond {
+		t.Fatalf("SimDuration = %v", s.SimDuration())
+	}
+	// Ending twice must not move the recorded interval.
+	now = time.Second
+	s.End()
+	if _, end := s.SimInterval(); end != 35*time.Millisecond {
+		t.Fatalf("second End moved simEnd to %v", end)
+	}
+}
+
+func TestAddEventExtendsSimEnd(t *testing.T) {
+	tr := NewTracer()
+	tr.SetSimClock(func() time.Duration { return 0 })
+	s := tr.Root("s")
+	s.AddEvent(Event{Name: "k", Cat: "kernel", Start: 2 * time.Millisecond, Dur: 3 * time.Millisecond})
+	s.End()
+	if _, end := s.SimInterval(); end != 5*time.Millisecond {
+		t.Fatalf("simEnd = %v, want 5ms (covering the event)", end)
+	}
+}
+
+func TestSetSimOverride(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Root("replica").SetSim(time.Millisecond, 4*time.Millisecond)
+	if s.SimDuration() != 3*time.Millisecond {
+		t.Fatalf("SimDuration = %v", s.SimDuration())
+	}
+}
+
+func TestTotalsAggregatesRecursively(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Root("root")
+	a := root.Child("a")
+	b := root.Child("b")
+	a.AddEvent(Event{Name: "k1", Cat: "kernel", Dur: time.Millisecond, FLOPs: 100, DRAMBytes: 10})
+	a.AddEvent(Event{Name: "cp", Cat: "transfer", Dur: 2 * time.Millisecond, Bytes: 512})
+	b.AddEvent(Event{Name: "k2", Cat: "kernel", Dur: 3 * time.Millisecond, FLOPs: 200, DRAMBytes: 20})
+
+	tot := root.Totals()
+	if tot.Kernels != 2 || tot.Transfers != 1 {
+		t.Fatalf("counts %+v", tot)
+	}
+	if tot.FLOPs != 300 || tot.DRAMBytes != 30 || tot.CopyBytes != 512 {
+		t.Fatalf("work %+v", tot)
+	}
+	if tot.SimTime != 6*time.Millisecond {
+		t.Fatalf("SimTime = %v", tot.SimTime)
+	}
+	if tr.EventCount() != 3 {
+		t.Fatalf("EventCount = %d", tr.EventCount())
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var s *Span
+	s.SetAttr("k", "v").SetProc(3).SetSim(0, time.Second)
+	s.AddEvent(Event{})
+	s.End()
+	if s.Child("c") != nil || s.Name() != "" || s.Attr("k") != "" {
+		t.Fatal("nil span leaked state")
+	}
+	if s.Depth() != 0 || s.Totals() != (Totals{}) || s.WallDuration() != 0 {
+		t.Fatal("nil span reported non-zero aggregates")
+	}
+	s.Walk(func(int, *Span) { t.Fatal("walk visited a nil span") })
+}
+
+func TestChildInheritsProc(t *testing.T) {
+	tr := NewTracer()
+	r := tr.Root("r").SetProc(2)
+	c := r.Child("c")
+	c.mu.Lock()
+	proc := c.proc
+	c.mu.Unlock()
+	if proc != 2 {
+		t.Fatalf("child proc = %d, want 2", proc)
+	}
+}
+
+func TestContextStartSpan(t *testing.T) {
+	// Bare context: nil span, same context back.
+	ctx, s := StartSpan(context.Background(), "x")
+	if s != nil || FromContext(ctx) != nil {
+		t.Fatal("bare context should produce a nil span")
+	}
+
+	// Tracer-only context: root span.
+	tr := NewTracer()
+	ctx = WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "root")
+	if root == nil || len(tr.Roots()) != 1 {
+		t.Fatal("tracer context should open a root span")
+	}
+
+	// Span-carrying context: child span.
+	_, child := StartSpan(ctx, "child")
+	if child == nil || child.Name() != "child" {
+		t.Fatal("no child span")
+	}
+	if cs := root.Children(); len(cs) != 1 || cs[0] != child {
+		t.Fatal("child not nested under the context span")
+	}
+
+	// Registry plumbing.
+	reg := NewRegistry()
+	ctx = WithRegistry(ctx, reg)
+	if RegistryFromContext(ctx) != reg {
+		t.Fatal("registry lost in context")
+	}
+}
+
+func TestConcurrentSpanUse(t *testing.T) {
+	tr := NewTracer()
+	var now time.Duration // guarded by clockMu
+	var clockMu sync.Mutex
+	tr.SetSimClock(func() time.Duration {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		now += time.Microsecond
+		return now
+	})
+	root := tr.Root("root")
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c := root.Child(fmt.Sprintf("g%d-%d", g, i))
+				c.SetAttr("i", fmt.Sprint(i))
+				c.AddEvent(Event{Name: "k", Cat: "kernel", Dur: time.Microsecond, FLOPs: 1})
+				c.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	root.End()
+
+	tot := root.Totals()
+	if tot.Kernels != 400 || tot.FLOPs != 400 {
+		t.Fatalf("lost events under concurrency: %+v", tot)
+	}
+	if len(root.Children()) != 400 {
+		t.Fatalf("lost children: %d", len(root.Children()))
+	}
+}
