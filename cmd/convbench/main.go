@@ -4,17 +4,23 @@
 // the 5-tuple (b, i, f, k, s) around the base configuration
 // (64, 128, 64, 11, 1).
 //
+// Cells fan out over a bounded worker pool (-j); results are placed by
+// grid position, so the tables are byte-identical at any parallelism.
+//
 // Usage:
 //
-//	convbench [-sweep batch|input|filter|kernel|stride|all] [-csv]
+//	convbench [-sweep batch|input|filter|kernel|stride|all] [-csv] [-j N] [-timeout d]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"gpucnn/internal/bench"
+	"gpucnn/internal/telemetry"
 	"gpucnn/internal/workload"
 )
 
@@ -22,6 +28,8 @@ func main() {
 	sweep := flag.String("sweep", "all", "parameter to sweep: batch, input, filter, kernel, stride, or all")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	device := flag.String("device", "k40c", "simulated device: k40c or titanx")
+	jobs := flag.Int("j", 0, "parallel measurement workers (0 = one per CPU)")
+	timeout := flag.Duration("timeout", 0, "per-measurement timeout (0 = none)")
 	flag.Parse()
 
 	spec, err := bench.SpecByName(*device)
@@ -29,6 +37,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx = telemetry.WithRegistry(ctx, telemetry.Default())
+	opt := bench.Options{Workers: *jobs, Timeout: *timeout}
 
 	names := workload.SweepNames()
 	if *sweep != "all" {
@@ -39,7 +52,7 @@ func main() {
 		names = []string{*sweep}
 	}
 	for _, name := range names {
-		rows := bench.Figure3On(name, spec)
+		rows := bench.Figure3Ctx(ctx, name, spec, opt)
 		if *csv {
 			fmt.Print(bench.CSVSweep(name, rows, false))
 		} else {

@@ -7,20 +7,31 @@
 //
 // Usage:
 //
-//	gpuprof [-table2]
+//	gpuprof [-table2] [-j N] [-timeout d]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
 
 	"gpucnn/internal/bench"
+	"gpucnn/internal/telemetry"
 	"gpucnn/internal/workload"
 )
 
 func main() {
 	table2Only := flag.Bool("table2", false, "print only Table II (resource usage)")
+	jobs := flag.Int("j", 0, "parallel measurement workers (0 = one per CPU)")
+	timeout := flag.Duration("timeout", 0, "per-measurement timeout (0 = none)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx = telemetry.WithRegistry(ctx, telemetry.Default())
+	opt := bench.Options{Workers: *jobs, Timeout: *timeout}
 
 	if !*table2Only {
 		fmt.Println("Table I — convolution configurations for benchmarking")
@@ -29,9 +40,9 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Println("Figure 6 — GPU performance profiling (weighted over top kernels)")
-		fmt.Print(bench.RenderFigure6(bench.Figure6()))
+		fmt.Print(bench.RenderFigure6(bench.Figure6Ctx(ctx, opt)))
 		fmt.Println()
 	}
 	fmt.Println("Table II — registers per thread and shared memory per block")
-	fmt.Print(bench.RenderTableII(bench.TableII()))
+	fmt.Print(bench.RenderTableII(bench.TableIICtx(ctx, opt)))
 }

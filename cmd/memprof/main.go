@@ -2,17 +2,23 @@
 // usage of the seven implementations across the same five parameter
 // sweeps as Figure 3 (the simulated analogue of watching nvidia-smi).
 //
+// Cells fan out over a bounded worker pool (-j); results are placed by
+// grid position, so the tables are byte-identical at any parallelism.
+//
 // Usage:
 //
-//	memprof [-sweep batch|input|filter|kernel|stride|all] [-csv]
+//	memprof [-sweep batch|input|filter|kernel|stride|all] [-csv] [-j N] [-timeout d]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"gpucnn/internal/bench"
+	"gpucnn/internal/telemetry"
 	"gpucnn/internal/workload"
 )
 
@@ -20,6 +26,8 @@ func main() {
 	sweep := flag.String("sweep", "all", "parameter to sweep: batch, input, filter, kernel, stride, or all")
 	csv := flag.Bool("csv", false, "emit CSV instead of a table")
 	device := flag.String("device", "k40c", "simulated device: k40c or titanx")
+	jobs := flag.Int("j", 0, "parallel measurement workers (0 = one per CPU)")
+	timeout := flag.Duration("timeout", 0, "per-measurement timeout (0 = none)")
 	flag.Parse()
 
 	spec, err := bench.SpecByName(*device)
@@ -27,6 +35,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx = telemetry.WithRegistry(ctx, telemetry.Default())
+	opt := bench.Options{Workers: *jobs, Timeout: *timeout}
 
 	names := workload.SweepNames()
 	if *sweep != "all" {
@@ -37,7 +50,7 @@ func main() {
 		names = []string{*sweep}
 	}
 	for _, name := range names {
-		rows := bench.Figure3On(name, spec)
+		rows := bench.Figure5Ctx(ctx, name, spec, opt)
 		if *csv {
 			fmt.Print(bench.CSVSweep(name, rows, true))
 		} else {

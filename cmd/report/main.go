@@ -3,20 +3,36 @@
 // one-page answer to "did the reproduction hold?". The same claims are
 // enforced as tests in internal/bench.
 //
+// The underlying measurement grid fans out over a bounded worker pool
+// (-j); verdicts are identical to a serial run.
+//
 // Usage:
 //
-//	report
+//	report [-j N] [-timeout d]
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"gpucnn/internal/bench"
+	"gpucnn/internal/telemetry"
 )
 
 func main() {
-	claims := bench.Scorecard()
+	jobs := flag.Int("j", 0, "parallel measurement workers (0 = one per CPU)")
+	timeout := flag.Duration("timeout", 0, "per-measurement timeout (0 = none)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx = telemetry.WithRegistry(ctx, telemetry.Default())
+	opt := bench.Options{Workers: *jobs, Timeout: *timeout}
+
+	claims := bench.ScorecardCtx(ctx, opt)
 	fmt.Print(bench.RenderScorecard(claims))
 	for _, c := range claims {
 		if !c.Pass {

@@ -3,19 +3,26 @@
 // stdout. This is the end-to-end reproduction entry point referenced by
 // EXPERIMENTS.md.
 //
+// Measurements fan out over a bounded worker pool (-j) with results
+// placed deterministically, so the output is byte-identical at any
+// parallelism. Ctrl-C cancels the remaining cells cooperatively.
+//
 // Usage:
 //
-//	runall
+//	runall [-j N] [-timeout d] [-csv-dir dir] [-metrics file]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"gpucnn/internal/bench"
+	"gpucnn/internal/telemetry"
 	"gpucnn/internal/workload"
 )
 
@@ -28,6 +35,9 @@ func section(title string) {
 
 func main() {
 	csvDir := flag.String("csv-dir", "", "also write per-sweep CSV files into this directory")
+	jobs := flag.Int("j", 0, "parallel measurement workers (0 = one per CPU)")
+	timeout := flag.Duration("timeout", 0, "per-measurement timeout (0 = none)")
+	metrics := flag.String("metrics", "", "write telemetry (worker utilization, cell latencies) in Prometheus text format to this file after the run (\"-\" for stderr)")
 	flag.Parse()
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -35,12 +45,18 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx = telemetry.WithRegistry(ctx, telemetry.Default())
+	opt := bench.Options{Workers: *jobs, Timeout: *timeout}
+	spec, _ := bench.SpecByName("k40c")
+
 	section("Figure 2 — runtime breakdown of real-life CNN models")
-	fmt.Print(bench.RenderFigure2(bench.Figure2()))
+	fmt.Print(bench.RenderFigure2(bench.Figure2Ctx(ctx, opt)))
 
 	for _, sweep := range workload.SweepNames() {
 		section(fmt.Sprintf("Figure 3 (%s sweep) — runtime comparison", sweep))
-		rows := bench.Figure3(sweep)
+		rows := bench.Figure3Ctx(ctx, sweep, spec, opt)
 		fmt.Print(bench.RenderSweepTimes(sweep, rows))
 		section(fmt.Sprintf("Figure 5 (%s sweep) — peak memory usage", sweep))
 		fmt.Print(bench.RenderSweepMemory(sweep, rows))
@@ -62,18 +78,43 @@ func main() {
 	}
 
 	section("Figure 6 — GPU performance profiling")
-	fmt.Print(bench.RenderFigure6(bench.Figure6()))
+	fmt.Print(bench.RenderFigure6(bench.Figure6Ctx(ctx, opt)))
 
 	section("Figure 7 — data transfer overheads")
-	fmt.Print(bench.RenderFigure7(bench.Figure7()))
+	fmt.Print(bench.RenderFigure7(bench.Figure7Ctx(ctx, opt)))
 
 	section("Table II — register and shared-memory usage")
-	fmt.Print(bench.RenderTableII(bench.TableII()))
+	fmt.Print(bench.RenderTableII(bench.TableIICtx(ctx, opt)))
+
+	if *metrics != "" {
+		writeMetrics(*metrics)
+	}
+	if ctx.Err() != nil {
+		log.Fatal("runall: interrupted; remaining cells were canceled")
+	}
 }
 
 func writeCSV(dir, name, content string) {
 	path := filepath.Join(dir, name)
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func writeMetrics(path string) {
+	if path == "-" {
+		if err := telemetry.Default().WritePrometheus(os.Stderr); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := telemetry.Default().WritePrometheus(f); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", path)

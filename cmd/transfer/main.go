@@ -6,17 +6,31 @@
 //
 // Usage:
 //
-//	transfer
+//	transfer [-j N] [-timeout d]
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
+	"os"
+	"os/signal"
 
 	"gpucnn/internal/bench"
+	"gpucnn/internal/telemetry"
 )
 
 func main() {
+	jobs := flag.Int("j", 0, "parallel measurement workers (0 = one per CPU)")
+	timeout := flag.Duration("timeout", 0, "per-measurement timeout (0 = none)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx = telemetry.WithRegistry(ctx, telemetry.Default())
+	opt := bench.Options{Workers: *jobs, Timeout: *timeout}
+
 	fmt.Println("Figure 7 — data transfer share of runtime (simulated PCIe)")
 	fmt.Println()
-	fmt.Print(bench.RenderFigure7(bench.Figure7()))
+	fmt.Print(bench.RenderFigure7(bench.Figure7Ctx(ctx, opt)))
 }

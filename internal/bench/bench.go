@@ -15,6 +15,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"gpucnn/internal/conv"
@@ -35,6 +36,13 @@ type Cell struct {
 	// OOM is set when the configuration exceeds the 12 GB device (the
 	// paper's fbfft "program crush" cases).
 	OOM bool
+	// Panic carries the recovered message when the engine or plan
+	// panicked during measurement. The parallel executor isolates such
+	// failures to their own cell instead of killing the sweep.
+	Panic string
+	// Canceled is set when the measurement's context was cancelled or
+	// its per-cell timeout expired before the iterations completed.
+	Canceled bool
 
 	Time          time.Duration // one training iteration (fwd + bwd)
 	PeakBytes     int64
@@ -43,7 +51,9 @@ type Cell struct {
 }
 
 // Ok reports whether the cell holds a valid measurement.
-func (c Cell) Ok() bool { return c.Unsupported == "" && !c.OOM }
+func (c Cell) Ok() bool {
+	return c.Unsupported == "" && !c.OOM && c.Panic == "" && !c.Canceled
+}
 
 // Iterations is how many training iterations each measurement averages
 // over, matching the paper's methodology ("averaged over 10 iterations").
@@ -78,6 +88,11 @@ func MeasureCtx(ctx context.Context, e impls.Engine, cfg conv.Config, spec gpusi
 				telemetry.Labels{"impl": e.Name(), "outcome": outcome}).Inc()
 		}
 	}
+	if ctx.Err() != nil {
+		cell.Canceled = true
+		count("canceled")
+		return cell
+	}
 	if err := e.Supports(cfg.WithDefaults()); err != nil {
 		cell.Unsupported = err.Error()
 		count("unsupported")
@@ -103,6 +118,14 @@ func MeasureCtx(ctx context.Context, e impls.Engine, cfg conv.Config, spec gpusi
 	}
 	defer plan.Release()
 	for i := 0; i < Iterations; i++ {
+		// Cooperative cancellation: a cancelled context or an expired
+		// per-cell timeout abandons the cell at the next iteration
+		// boundary — the finest grain the simulation exposes.
+		if ctx.Err() != nil {
+			cell.Canceled = true
+			count("canceled")
+			return cell
+		}
 		if err := plan.Iteration(); err != nil {
 			var oom *gpusim.OOMError
 			if errors.As(err, &oom) {
@@ -142,27 +165,79 @@ func Sweep(cfgs []conv.Config, value func(conv.Config) int) []Row {
 
 // SweepOn is Sweep on an arbitrary device specification.
 func SweepOn(cfgs []conv.Config, value func(conv.Config) int, spec gpusim.DeviceSpec) []Row {
-	engines := impls.All()
-	rows := make([]Row, 0, len(cfgs))
+	return SweepCtx(context.Background(), cfgs, value, spec, Options{})
+}
+
+// SweepCtx runs the sweep grid through the parallel executor: every
+// (implementation, configuration) cell is an independent measurement on
+// its own device, fanned out over opt.Workers goroutines. Results land
+// by grid position, so the rows are identical to a serial sweep's.
+func SweepCtx(ctx context.Context, cfgs []conv.Config, value func(conv.Config) int, spec gpusim.DeviceSpec, opt Options) []Row {
+	if len(cfgs) == 0 {
+		return nil
+	}
+	var tasks []Task
 	for _, cfg := range cfgs {
-		row := Row{Value: value(cfg)}
-		for _, e := range engines {
-			row.Cells = append(row.Cells, MeasureOn(e, cfg, spec))
+		// Fresh engine instances per configuration: engines carry no
+		// mutable state today, but per-cell instantiation keeps the
+		// worker pool race-free by construction.
+		for _, e := range impls.All() {
+			tasks = append(tasks, Task{Engine: e, Cfg: cfg, Spec: spec})
 		}
-		rows = append(rows, row)
+	}
+	cells := RunCells(ctx, tasks, opt)
+	perRow := len(tasks) / len(cfgs)
+	rows := make([]Row, len(cfgs))
+	for i, cfg := range cfgs {
+		rows[i] = Row{Value: value(cfg), Cells: cells[i*perRow : (i+1)*perRow]}
 	}
 	return rows
 }
 
-// SpecByName resolves a device name for CLI -device flags.
-func SpecByName(name string) (gpusim.DeviceSpec, error) {
-	switch name {
-	case "", "k40c", "K40c":
-		return gpusim.TeslaK40c(), nil
-	case "titanx", "TitanX", "titan-x":
-		return gpusim.TitanXMaxwell(), nil
+// deviceSpecs lists the canonical -device names with the normalized
+// aliases each accepts.
+var deviceSpecs = []struct {
+	name    string
+	aliases []string
+	spec    func() gpusim.DeviceSpec
+}{
+	{"k40c", []string{"k40c", "k40", "teslak40c"}, gpusim.TeslaK40c},
+	{"titanx", []string{"titanx", "titan", "titanxmaxwell"}, gpusim.TitanXMaxwell},
+}
+
+// normalizeDeviceName lower-cases and strips separator punctuation so
+// "TitanX", "titan-x" and "Titan_X" all resolve to the same device.
+func normalizeDeviceName(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch r {
+		case '-', '_', '.', ' ':
+			continue
+		}
+		b.WriteRune(r)
 	}
-	return gpusim.DeviceSpec{}, fmt.Errorf("bench: unknown device %q (have k40c, titanx)", name)
+	return b.String()
+}
+
+// SpecByName resolves a device name for CLI -device flags. Matching is
+// case-insensitive and ignores -, _, . and spaces; the empty name means
+// the paper's K40c.
+func SpecByName(name string) (gpusim.DeviceSpec, error) {
+	norm := normalizeDeviceName(name)
+	if norm == "" {
+		return gpusim.TeslaK40c(), nil
+	}
+	valid := make([]string, 0, len(deviceSpecs))
+	for _, d := range deviceSpecs {
+		for _, a := range d.aliases {
+			if norm == a {
+				return d.spec(), nil
+			}
+		}
+		valid = append(valid, d.name)
+	}
+	return gpusim.DeviceSpec{}, fmt.Errorf("bench: unknown device %q (valid names: %s)",
+		name, strings.Join(valid, ", "))
 }
 
 // Best returns the fastest valid cell of a row.

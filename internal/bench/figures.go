@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -31,24 +32,45 @@ type ModelBreakdown struct {
 // runtime breakdowns. The models run on the Caffe engine, the
 // framework the paper profiled the full models in.
 func Figure2() []ModelBreakdown {
+	return Figure2Ctx(context.Background(), Options{})
+}
+
+// Figure2Ctx is Figure2 with the four models profiled concurrently on
+// the executor's worker pool. Each model gets its own engine, device
+// and simulation context, so the breakdowns match the serial run
+// exactly; a model whose simulation panics or is cancelled is dropped
+// from the result instead of aborting the figure.
+func Figure2Ctx(ctx context.Context, opt Options) []ModelBreakdown {
 	batches := map[string]int{"AlexNet": 128, "GoogLeNet": 128, "OverFeat": 128, "VGG": 64}
 	order := []string{"GoogLeNet", "VGG", "OverFeat", "AlexNet"}
-	var out []ModelBreakdown
-	for _, name := range order {
+	results := make([]ModelBreakdown, len(order))
+	done := make([]bool, len(order))
+	errs := runIndexed(ctx, len(order), opt, func(ctx context.Context, i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		name := order[i]
 		m := models.All(impls.NewCaffe())[name]
 		dev := gpusim.New(gpusim.TeslaK40c())
-		ctx := nn.NewContext(dev, true)
+		nctx := nn.NewContext(dev, true)
 		batch := batches[name]
-		m.Net.SimulateIteration(ctx, tensor.Shape(m.InputShape(batch)))
-		out = append(out, ModelBreakdown{
+		m.Net.SimulateIteration(nctx, tensor.Shape(m.InputShape(batch)))
+		results[i] = ModelBreakdown{
 			Model:     name,
 			Batch:     batch,
 			Total:     dev.Elapsed(),
-			ByKind:    ctx.TimeByKind,
-			ConvShare: nn.ConvShare(ctx.TimeByKind),
+			ByKind:    nctx.TimeByKind,
+			ConvShare: nn.ConvShare(nctx.TimeByKind),
 			Params:    m.Net.ParamCount(),
-		})
+		}
+		done[i] = true
 		m.Net.Release()
+	})
+	var out []ModelBreakdown
+	for i := range results {
+		if done[i] && errs[i] == nil {
+			out = append(out, results[i])
+		}
 	}
 	return out
 }
@@ -61,11 +83,17 @@ func Figure3(sweep string) []Row {
 
 // Figure3On is Figure3 on an arbitrary device specification.
 func Figure3On(sweep string, spec gpusim.DeviceSpec) []Row {
+	return Figure3Ctx(context.Background(), sweep, spec, Options{})
+}
+
+// Figure3Ctx is Figure3On with a context, worker pool and per-cell
+// timeout: the sweep grid runs through the parallel executor.
+func Figure3Ctx(ctx context.Context, sweep string, spec gpusim.DeviceSpec, opt Options) []Row {
 	cfgs, ok := workload.Sweeps()[sweep]
 	if !ok {
 		panic(fmt.Sprintf("bench: unknown sweep %q", sweep))
 	}
-	return SweepOn(cfgs, func(c conv.Config) int { return workload.SweptValue(sweep, c) }, spec)
+	return SweepCtx(ctx, cfgs, func(c conv.Config) int { return workload.SweptValue(sweep, c) }, spec, opt)
 }
 
 // KernelShare is one slice of a Figure 4 pie.
@@ -125,6 +153,11 @@ func Figure5(sweep string) []Row {
 	return Figure3(sweep)
 }
 
+// Figure5Ctx is Figure5 through the parallel executor.
+func Figure5Ctx(ctx context.Context, sweep string, spec gpusim.DeviceSpec, opt Options) []Row {
+	return Figure3Ctx(ctx, sweep, spec, opt)
+}
+
 // MetricsRow is one implementation's weighted metric profile on one
 // Table I configuration (Figure 6).
 type MetricsRow struct {
@@ -133,14 +166,35 @@ type MetricsRow struct {
 	Cell   Cell
 }
 
+// tableIGrid measures every implementation over the five Table I
+// configurations through the parallel executor, preserving the serial
+// (config-major, registry-order) cell layout Figures 6 and 7 share.
+func tableIGrid(ctx context.Context, opt Options) ([]workload.NamedConfig, []Cell) {
+	configs := workload.TableI()
+	var tasks []Task
+	for _, nc := range configs {
+		for _, e := range impls.All() {
+			tasks = append(tasks, Task{Engine: e, Cfg: nc.Cfg, Spec: gpusim.TeslaK40c()})
+		}
+	}
+	return configs, RunCells(ctx, tasks, opt)
+}
+
 // Figure6 profiles every implementation over the five Table I
 // configurations, reporting runtime plus the five nvprof metrics,
 // weighted over the top kernels as in the paper.
 func Figure6() []MetricsRow {
+	return Figure6Ctx(context.Background(), Options{})
+}
+
+// Figure6Ctx is Figure6 through the parallel executor.
+func Figure6Ctx(ctx context.Context, opt Options) []MetricsRow {
+	configs, cells := tableIGrid(ctx, opt)
+	per := len(cells) / len(configs)
 	var out []MetricsRow
-	for _, nc := range workload.TableI() {
-		for _, e := range impls.All() {
-			out = append(out, MetricsRow{Config: nc.Name, Impl: e.Name(), Cell: Measure(e, nc.Cfg)})
+	for i, nc := range configs {
+		for _, c := range cells[i*per : (i+1)*per] {
+			out = append(out, MetricsRow{Config: nc.Name, Impl: c.Impl, Cell: c})
 		}
 	}
 	return out
@@ -158,11 +212,17 @@ type TransferRow struct {
 // Figure7 measures the CPU↔GPU transfer overhead share over the five
 // Table I configurations.
 func Figure7() []TransferRow {
+	return Figure7Ctx(context.Background(), Options{})
+}
+
+// Figure7Ctx is Figure7 through the parallel executor.
+func Figure7Ctx(ctx context.Context, opt Options) []TransferRow {
+	configs, cells := tableIGrid(ctx, opt)
+	per := len(cells) / len(configs)
 	var out []TransferRow
-	for _, nc := range workload.TableI() {
-		for _, e := range impls.All() {
-			cell := Measure(e, nc.Cfg)
-			out = append(out, TransferRow{Config: nc.Name, Impl: e.Name(), Share: cell.TransferShare, Ok: cell.Ok()})
+	for i, nc := range configs {
+		for _, c := range cells[i*per : (i+1)*per] {
+			out = append(out, TransferRow{Config: nc.Name, Impl: c.Impl, Share: c.TransferShare, Ok: c.Ok()})
 		}
 	}
 	return out
@@ -178,16 +238,27 @@ type TableIIRow struct {
 // TableII reports the register and shared-memory footprint of each
 // implementation's dominant kernel, reproducing the paper's Table II.
 func TableII() []TableIIRow {
-	var out []TableIIRow
-	for _, e := range impls.All() {
+	return TableIICtx(context.Background(), Options{})
+}
+
+// TableIICtx is TableII with the per-implementation profiling runs
+// fanned out over the executor's worker pool (each on its own device).
+func TableIICtx(ctx context.Context, opt Options) []TableIIRow {
+	engines := impls.All()
+	rows := make([]*TableIIRow, len(engines))
+	runIndexed(ctx, len(engines), opt, func(ctx context.Context, i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		e := engines[i]
 		dev := gpusim.New(gpusim.TeslaK40c())
 		plan, err := e.Plan(dev, workload.Base())
 		if err != nil {
-			continue
+			return
 		}
 		if err := plan.Iteration(); err != nil {
 			plan.Release()
-			continue
+			return
 		}
 		// The paper's Table II lists each implementation's characteristic
 		// compute kernel: the transform kernel for the FFT engines, the
@@ -206,13 +277,19 @@ func TableII() []TableIIRow {
 			break
 		}
 		if pick != nil {
-			out = append(out, TableIIRow{
+			rows[i] = &TableIIRow{
 				Impl:          e.Name(),
 				RegsPerThread: pick.RegsPerThread,
 				SmemPerBlockB: pick.SmemPerBlock,
-			})
+			}
 		}
 		plan.Release()
+	})
+	var out []TableIIRow
+	for _, r := range rows {
+		if r != nil {
+			out = append(out, *r)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Impl < out[j].Impl })
 	return out

@@ -11,8 +11,46 @@ import (
 )
 
 // fmtDur renders a duration in milliseconds with fixed precision.
+// Milliseconds are computed from Seconds() so sub-microsecond runtime
+// is rounded, not truncated away.
 func fmtDur(d time.Duration) string {
-	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+	return fmt.Sprintf("%.2f", d.Seconds()*1e3)
+}
+
+// cellMarker returns the text standing in for a failed cell, or ""
+// when the cell holds a valid measurement: "OOM" for the paper's
+// "program crush" cases, "n/s" for shape limitations, "panic" for an
+// engine failure the executor isolated, "canceled" for a cell cut off
+// by context cancellation or timeout.
+func cellMarker(c Cell) string {
+	switch {
+	case c.OOM:
+		return "OOM"
+	case c.Unsupported != "":
+		return "n/s"
+	case c.Panic != "":
+		return "panic"
+	case c.Canceled:
+		return "canceled"
+	}
+	return ""
+}
+
+// sweepImpls derives the column set of a sweep from the rows' own
+// cells, in first-seen order — headers stay aligned even when the rows
+// cover a subset or reordering of the registered implementations.
+func sweepImpls(rows []Row) []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, row := range rows {
+		for _, c := range row.Cells {
+			if !seen[c.Impl] {
+				seen[c.Impl] = true
+				names = append(names, c.Impl)
+			}
+		}
+	}
+	return names
 }
 
 // fmtMB renders bytes as whole mebibytes.
@@ -37,21 +75,25 @@ func RenderSweepMemory(param string, rows []Row) string {
 }
 
 func renderSweep(param string, rows []Row, what string, cell func(Cell) string) string {
+	names := sweepImpls(rows)
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s sweep — %s\n", param, what)
 	fmt.Fprintf(&b, "%-8s", param)
-	for _, name := range impls.Names() {
+	for _, name := range names {
 		fmt.Fprintf(&b, " %14s", name)
 	}
 	b.WriteByte('\n')
 	for _, row := range rows {
 		fmt.Fprintf(&b, "%-8d", row.Value)
-		for _, c := range row.Cells {
+		// Cells are looked up by implementation name, not position, so
+		// a row with missing or reordered cells cannot shift columns.
+		for _, name := range names {
+			c, ok := row.CellFor(name)
 			switch {
-			case c.OOM:
-				fmt.Fprintf(&b, " %14s", "OOM")
-			case c.Unsupported != "":
-				fmt.Fprintf(&b, " %14s", "n/s")
+			case !ok:
+				fmt.Fprintf(&b, " %14s", "-")
+			case !c.Ok():
+				fmt.Fprintf(&b, " %14s", cellMarker(c))
 			default:
 				fmt.Fprintf(&b, " %14s", cell(c))
 			}
@@ -97,7 +139,7 @@ func RenderFigure6(rows []MetricsRow) string {
 		"Config", "Impl", "Time(ms)", "Occ%", "IPC", "WEE%", "Gld%", "Gst%", "Shared%")
 	for _, r := range rows {
 		if !r.Cell.Ok() {
-			fmt.Fprintf(&b, "%-7s %-15s %10s\n", r.Config, r.Impl, "n/s")
+			fmt.Fprintf(&b, "%-7s %-15s %10s\n", r.Config, r.Impl, cellMarker(r.Cell))
 			continue
 		}
 		m := r.Cell.Metrics
@@ -113,10 +155,16 @@ func RenderFigure6(rows []MetricsRow) string {
 func RenderFigure7(rows []TransferRow) string {
 	configs := []string{}
 	seen := map[string]bool{}
+	names := []string{}
+	seenImpl := map[string]bool{}
 	for _, r := range rows {
 		if !seen[r.Config] {
 			seen[r.Config] = true
 			configs = append(configs, r.Config)
+		}
+		if !seenImpl[r.Impl] {
+			seenImpl[r.Impl] = true
+			names = append(names, r.Impl)
 		}
 	}
 	byKey := map[string]TransferRow{}
@@ -125,13 +173,13 @@ func RenderFigure7(rows []TransferRow) string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-8s", "Config")
-	for _, name := range impls.Names() {
+	for _, name := range names {
 		fmt.Fprintf(&b, " %14s", name)
 	}
 	b.WriteByte('\n')
 	for _, cfg := range configs {
 		fmt.Fprintf(&b, "%-8s", cfg)
-		for _, name := range impls.Names() {
+		for _, name := range names {
 			r, ok := byKey[cfg+"/"+name]
 			if !ok || !r.Ok {
 				fmt.Fprintf(&b, " %14s", "n/s")
@@ -156,25 +204,33 @@ func RenderTableII(rows []TableIIRow) string {
 	return b.String()
 }
 
-// CSVSweep renders a sweep as CSV for plotting.
+// CSVSweep renders a sweep as CSV for plotting. Columns derive from
+// the rows' own cells (see sweepImpls); failed cells carry the same
+// markers as the tables ("OOM", "n/s", "panic", "canceled") so the
+// paper's "program crush" distinction survives into the CSV — plotting
+// scripts should treat any non-numeric entry as a missing point. A
+// cell absent from a row altogether renders empty.
 func CSVSweep(param string, rows []Row, memory bool) string {
+	names := sweepImpls(rows)
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s", param)
-	for _, name := range impls.Names() {
+	for _, name := range names {
 		fmt.Fprintf(&b, ",%s", name)
 	}
 	b.WriteByte('\n')
 	for _, row := range rows {
 		fmt.Fprintf(&b, "%d", row.Value)
-		for _, c := range row.Cells {
-			if !c.Ok() {
+		for _, name := range names {
+			c, ok := row.CellFor(name)
+			switch {
+			case !ok:
 				b.WriteString(",")
-				continue
-			}
-			if memory {
+			case !c.Ok():
+				fmt.Fprintf(&b, ",%s", cellMarker(c))
+			case memory:
 				fmt.Fprintf(&b, ",%d", c.PeakBytes>>20)
-			} else {
-				fmt.Fprintf(&b, ",%.3f", float64(c.Time.Microseconds())/1000)
+			default:
+				fmt.Fprintf(&b, ",%.3f", c.Time.Seconds()*1e3)
 			}
 		}
 		b.WriteByte('\n')

@@ -61,6 +61,90 @@ func TestCSVSweep(t *testing.T) {
 	}
 }
 
+// TestRenderSweepHeadersFollowRows: headers derive from the rows' own
+// cells, so a subset or reordered sweep cannot misalign columns.
+func TestRenderSweepHeadersFollowRows(t *testing.T) {
+	rows := []Row{
+		{Value: 1, Cells: []Cell{
+			{Impl: "fbfft", Time: 10 * time.Millisecond},
+			{Impl: "Caffe", Time: 20 * time.Millisecond},
+		}},
+		// Second row reordered and missing Caffe: values must still land
+		// under their own headers.
+		{Value: 2, Cells: []Cell{
+			{Impl: "Caffe", Time: 40 * time.Millisecond},
+			{Impl: "fbfft", Time: 30 * time.Millisecond},
+		}},
+		{Value: 3, Cells: []Cell{
+			{Impl: "fbfft", Time: 50 * time.Millisecond},
+		}},
+	}
+	out := RenderSweepTimes("batch", rows)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + 3 rows
+		t.Fatalf("want 5 lines, got %d:\n%s", len(lines), out)
+	}
+	header := strings.Fields(lines[1])
+	if len(header) != 3 || header[1] != "fbfft" || header[2] != "Caffe" {
+		t.Fatalf("header should come from the rows' impls, got %v", header)
+	}
+	row2 := strings.Fields(lines[3])
+	if row2[1] != "30.00" || row2[2] != "40.00" {
+		t.Fatalf("reordered row misaligned: %v", row2)
+	}
+	row3 := strings.Fields(lines[4])
+	if row3[1] != "50.00" || row3[2] != "-" {
+		t.Fatalf("missing cell should render a placeholder: %v", row3)
+	}
+
+	csv := CSVSweep("batch", rows, false)
+	csvLines := strings.Split(strings.TrimSpace(csv), "\n")
+	if csvLines[0] != "batch,fbfft,Caffe" {
+		t.Fatalf("CSV header should come from the rows' impls: %q", csvLines[0])
+	}
+	if csvLines[2] != "2,30.000,40.000" {
+		t.Fatalf("reordered CSV row misaligned: %q", csvLines[2])
+	}
+	if csvLines[3] != "3,50.000," {
+		t.Fatalf("missing CSV cell should render empty: %q", csvLines[3])
+	}
+}
+
+// TestCSVSweepMarkers: the CSV keeps the paper's OOM-vs-unsupported
+// distinction instead of collapsing both to an empty cell.
+func TestCSVSweepMarkers(t *testing.T) {
+	out := CSVSweep("batch", sampleRows(), false)
+	line := strings.Split(strings.TrimSpace(out), "\n")[1]
+	if !strings.Contains(line, ",n/s") || !strings.Contains(line, ",OOM") {
+		t.Fatalf("CSV should mark n/s and OOM distinctly: %q", line)
+	}
+	failed := []Row{{Value: 1, Cells: []Cell{
+		{Impl: "a", Panic: "boom"},
+		{Impl: "b", Canceled: true},
+	}}}
+	line = strings.Split(strings.TrimSpace(CSVSweep("batch", failed, false)), "\n")[1]
+	if line != "1,panic,canceled" {
+		t.Fatalf("CSV should mark panicked/canceled cells: %q", line)
+	}
+}
+
+// TestFmtDurSubMicrosecond: millisecond rendering must round from the
+// full-precision duration instead of truncating at the microsecond.
+func TestFmtDurSubMicrosecond(t *testing.T) {
+	if got := fmtDur(1234567 * time.Nanosecond); got != "1.23" {
+		t.Fatalf("fmtDur = %q, want 1.23", got)
+	}
+	if got := fmtDur(4999 * time.Nanosecond); got != "0.00" {
+		t.Fatalf("fmtDur = %q", got)
+	}
+	// CSV keeps three decimals: 1.5 µs rounds to 0.002 ms, where the
+	// old microsecond truncation rendered 0.001.
+	rows := []Row{{Value: 1, Cells: []Cell{{Impl: "a", Time: 1500 * time.Nanosecond}}}}
+	if out := CSVSweep("x", rows, false); !strings.Contains(out, "1,0.002") {
+		t.Fatalf("CSV truncated sub-microsecond runtime:\n%s", out)
+	}
+}
+
 func TestRowHelpers(t *testing.T) {
 	row := sampleRows()[0]
 	best, ok := row.Best()

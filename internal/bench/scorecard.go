@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"gpucnn/internal/conv"
+	"gpucnn/internal/gpusim"
 	"gpucnn/internal/impls"
 	"gpucnn/internal/workload"
 )
@@ -22,23 +25,81 @@ type Claim struct {
 // Scorecard measures every tracked claim. It is deterministic and
 // reasonably fast (a few hundred milliseconds of simulation).
 func Scorecard() []Claim {
-	var claims []Claim
-	add := func(id, text, paper, measured string, pass bool) {
-		claims = append(claims, Claim{ID: id, Text: text, Paper: paper, Measured: measured, Pass: pass})
-	}
+	return ScorecardCtx(context.Background(), Options{})
+}
 
+// ScorecardCtx is Scorecard with every underlying measurement fanned
+// out over the parallel executor: the full cell grid the claims need
+// is enumerated up front, measured concurrently, and the claims are
+// then graded from the (deterministic, index-ordered) results — so the
+// verdicts are identical to the serial run's.
+func ScorecardCtx(ctx context.Context, opt Options) []Claim {
 	base := workload.Base()
-	byName := func(name string) impls.Engine {
+	conv1 := workload.TableI()[0].Cfg
+	conv2 := workload.TableI()[1].Cfg
+
+	// Enumerate every (implementation, configuration) cell the claims
+	// read, deduplicated, and measure them all in one parallel batch.
+	type mkey struct {
+		impl string
+		cfg  conv.Config
+	}
+	var tasks []Task
+	index := map[mkey]int{}
+	want := func(name string, cfg conv.Config) {
+		k := mkey{name, cfg}
+		if _, ok := index[k]; ok {
+			return
+		}
 		e, err := impls.ByName(name)
 		if err != nil {
 			panic(err)
 		}
-		return e
+		index[k] = len(tasks)
+		tasks = append(tasks, Task{Engine: e, Cfg: cfg, Spec: gpusim.TeslaK40c()})
 	}
-	t := func(name string) float64 { return Measure(byName(name), base).Time.Seconds() }
+	for _, name := range impls.Names() {
+		want(name, base) // Figure 3 ordering + Figure 5 memory claims
+	}
+	for k := 3; k <= 15; k += 2 { // Figure 3d kernel crossover
+		cfg := base
+		cfg.Kernel = k
+		want("cuDNN", cfg)
+		want("fbfft", cfg)
+	}
+	for _, f := range []int{64, 512} { // Figure 3c filter crossover
+		cfg := base
+		cfg.Filters = f
+		want("Theano-CorrMM", cfg)
+		want("cuDNN", cfg)
+	}
+	for _, b := range []int{96, 128} { // Figure 3a batch multiples
+		cfg := base
+		cfg.Batch = b
+		want("cuda-convnet2", cfg)
+	}
+	for _, name := range []string{"cuda-convnet2", "Theano-fft", "cuDNN", "Theano-CorrMM"} {
+		want(name, conv1) // Figure 6 metric claims
+	}
+	want("Theano-CorrMM", conv2) // Figure 7 transfer claims
+	want("Caffe", conv2)
+	cells := RunCells(ctx, tasks, opt)
+	measured := func(name string, cfg conv.Config) Cell {
+		i, ok := index[mkey{name, cfg}]
+		if !ok {
+			panic(fmt.Sprintf("bench: scorecard cell %s/%v was not pre-measured", name, cfg))
+		}
+		return cells[i]
+	}
+
+	var claims []Claim
+	add := func(id, text, paper, measured string, pass bool) {
+		claims = append(claims, Claim{ID: id, Text: text, Paper: paper, Measured: measured, Pass: pass})
+	}
+	t := func(name string) float64 { return measured(name, base).Time.Seconds() }
 
 	// --- Figure 2 ---
-	for _, mb := range Figure2() {
+	for _, mb := range Figure2Ctx(ctx, opt) {
 		add("F2/"+mb.Model,
 			"convolutional layers dominate "+mb.Model+"'s training iteration",
 			"86–94%",
@@ -79,7 +140,7 @@ func Scorecard() []Claim {
 	ratioAt := func(k int) float64 {
 		cfg := base
 		cfg.Kernel = k
-		return Measure(byName("cuDNN"), cfg).Time.Seconds() / Measure(byName("fbfft"), cfg).Time.Seconds()
+		return measured("cuDNN", cfg).Time.Seconds() / measured("fbfft", cfg).Time.Seconds()
 	}
 	crossover := -1
 	for k := 3; k <= 15; k += 2 {
@@ -102,7 +163,7 @@ func Scorecard() []Claim {
 	at := func(name string, f int) float64 {
 		cfg := base
 		cfg.Filters = f
-		return Measure(byName(name), cfg).Time.Seconds()
+		return measured(name, cfg).Time.Seconds()
 	}
 	corrWins512 := at("Theano-CorrMM", 512) < at("cuDNN", 512)
 	cuWins64 := at("cuDNN", 64) < at("Theano-CorrMM", 64)
@@ -115,7 +176,7 @@ func Scorecard() []Claim {
 	perImage := func(b int) float64 {
 		cfg := base
 		cfg.Batch = b
-		return Measure(byName("cuda-convnet2"), cfg).Time.Seconds() / float64(b)
+		return measured("cuda-convnet2", cfg).Time.Seconds() / float64(b)
 	}
 	add("F3a/cc2", "cuda-convnet2 performs well only for mini-batch multiples of 128",
 		"multiples of 128 favoured",
@@ -131,7 +192,7 @@ func Scorecard() []Claim {
 		g >= 0.65 && g <= 0.95)
 
 	// --- Figure 5 ---
-	mem := func(name string) int64 { return Measure(byName(name), base).PeakBytes }
+	mem := func(name string) int64 { return measured(name, base).PeakBytes }
 	ordered := mem("cuda-convnet2") < mem("Torch-cunn") &&
 		mem("Torch-cunn") < mem("Caffe") &&
 		mem("Caffe") < mem("Theano-fft") &&
@@ -144,8 +205,7 @@ func Scorecard() []Claim {
 		ordered)
 
 	// --- Figure 6 ---
-	conv1 := workload.TableI()[0].Cfg
-	m6 := func(name string) Cell { return Measure(byName(name), conv1) }
+	m6 := func(name string) Cell { return measured(name, conv1) }
 	cc2occ := m6("cuda-convnet2").Metrics.AchievedOccupancy * 100
 	add("F6/cc2occ", "the achieved occupancy in cuda-convnet2 is lower than the average level",
 		"14–22%",
@@ -176,20 +236,19 @@ func Scorecard() []Claim {
 		corrGld >= 10 && corrGld <= 18)
 
 	// --- Figure 7 ---
-	conv2 := workload.TableI()[1].Cfg
-	spike := Measure(byName("Theano-CorrMM"), conv2).TransferShare
+	spike := measured("Theano-CorrMM", conv2).TransferShare
 	add("F7/spike", "Theano-CorrMM on Conv2 has a significant data-transfer overhead",
 		"more than 60%",
 		fmt.Sprintf("%.1f%%", spike*100),
 		spike >= 0.5)
-	hidden := Measure(byName("Caffe"), conv2).TransferShare
+	hidden := measured("Caffe", conv2).TransferShare
 	add("F7/hidden", "cuDNN, Caffe and fbfft have the lowest transfer share",
 		"≈0%",
 		fmt.Sprintf("Caffe %.2f%%", hidden*100),
 		hidden < 0.005)
 
 	// --- Table II ---
-	tbl := TableII()
+	tbl := TableIICtx(ctx, opt)
 	wantRegs := map[string]int{"Caffe": 86, "cuDNN": 80, "Torch-cunn": 84,
 		"Theano-CorrMM": 72, "cuda-convnet2": 116, "fbfft": 106, "Theano-fft": 2}
 	exact := len(tbl) == len(wantRegs)

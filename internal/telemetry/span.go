@@ -124,9 +124,9 @@ type Span struct {
 	id     uint64
 	name   string
 
-	mu       sync.Mutex
-	proc     int // process lane in the Chrome export (multi-GPU replicas)
-	attrs    map[string]string
+	mu        sync.Mutex
+	proc      int // process lane in the Chrome export (multi-GPU replicas)
+	attrs     map[string]string
 	wallStart time.Time
 	wallDur   time.Duration
 	simStart  time.Duration
