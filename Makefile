@@ -1,0 +1,20 @@
+# Tier-1 gate: everything a PR must keep green.
+.PHONY: tier1
+tier1:
+	go build ./...
+	go test ./...
+	go vet ./...
+	go test -race ./internal/gemm ./internal/conv ./internal/par
+
+# Kernel microbenchmarks: 5 repetitions of the GEMM and convolution
+# benches, summarised into BENCH_kernels.json (ns/op medians plus any
+# GFLOPS metrics). Compare runs with benchstat if available.
+.PHONY: bench-kernels
+bench-kernels:
+	go test ./internal/gemm -run '^$$' -bench 'BenchmarkBlockedGEMM|BenchmarkGEMM|BenchmarkCGEMM' -count=5 -timeout 60m | tee bench_kernels.txt
+	go test ./internal/conv -run '^$$' -bench 'BenchmarkConvForward' -count=5 -timeout 60m | tee -a bench_kernels.txt
+	go run ./cmd/benchjson -in bench_kernels.txt -out BENCH_kernels.json
+
+.PHONY: bench-kernels-quick
+bench-kernels-quick:
+	go test ./internal/gemm -run '^$$' -bench 'BenchmarkBlockedGEMM' -count=3 -timeout 30m

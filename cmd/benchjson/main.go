@@ -1,0 +1,180 @@
+// Command benchjson converts `go test -bench` output into a compact
+// JSON snapshot. Repeated runs of the same benchmark (from -count=N)
+// are collapsed to their median, so the snapshot is robust to scheduler
+// noise without needing benchstat.
+//
+// Usage:
+//
+//	go test ./internal/gemm -bench . -count=5 | go run ./cmd/benchjson -out BENCH_kernels.json
+//	go run ./cmd/benchjson -in bench.txt -out BENCH_kernels.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line's parsed fields.
+type result struct {
+	iters   int64
+	nsPerOp float64
+	metrics map[string]float64 // extra "value unit" pairs (GFLOPS, B/op, ...)
+}
+
+// Summary is the per-benchmark aggregate written to JSON.
+type Summary struct {
+	Name      string             `json:"name"`
+	Runs      int                `json:"runs"`
+	NsPerOp   float64            `json:"ns_per_op_median"`
+	NsMin     float64            `json:"ns_per_op_min"`
+	NsMax     float64            `json:"ns_per_op_max"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"` // medians
+	AllocsPct *float64           `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the output document.
+type Snapshot struct {
+	Note       string    `json:"note"`
+	GoOS       string    `json:"goos,omitempty"`
+	GoArch     string    `json:"goarch,omitempty"`
+	CPU        string    `json:"cpu,omitempty"`
+	Benchmarks []Summary `json:"benchmarks"`
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func parseLine(line string) (string, result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", result{}, false
+	}
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil || fields[3] != "ns/op" {
+		return "", result{}, false
+	}
+	r := result{iters: iters, nsPerOp: ns, metrics: map[string]float64{}}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		r.metrics[fields[i+1]] = v
+	}
+	// Strip the trailing -N GOMAXPROCS suffix from the name.
+	name := fields[0]
+	if idx := strings.LastIndex(name, "-"); idx > 0 {
+		if _, err := strconv.Atoi(name[idx+1:]); err == nil {
+			name = name[:idx]
+		}
+	}
+	return name, r, true
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "output JSON file (default stdout)")
+	note := flag.String("note", "kernel microbenchmark snapshot (medians over -count runs)", "note field for the snapshot")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+
+	snap := Snapshot{Note: *note}
+	byName := map[string][]result{}
+	var order []string
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.GoOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		if name, r, ok := parseLine(line); ok {
+			if _, seen := byName[name]; !seen {
+				order = append(order, name)
+			}
+			byName[name] = append(byName[name], r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+
+	for _, name := range order {
+		rs := byName[name]
+		s := Summary{Name: name, Runs: len(rs), Metrics: map[string]float64{}}
+		var nss []float64
+		metricVals := map[string][]float64{}
+		for _, r := range rs {
+			nss = append(nss, r.nsPerOp)
+			for u, v := range r.metrics {
+				metricVals[u] = append(metricVals[u], v)
+			}
+		}
+		sort.Float64s(nss)
+		s.NsPerOp = median(nss)
+		s.NsMin = nss[0]
+		s.NsMax = nss[len(nss)-1]
+		for u, vs := range metricVals {
+			if u == "allocs/op" {
+				m := median(vs)
+				s.AllocsPct = &m
+				continue
+			}
+			s.Metrics[u] = median(vs)
+		}
+		if len(s.Metrics) == 0 {
+			s.Metrics = nil
+		}
+		snap.Benchmarks = append(snap.Benchmarks, s)
+	}
+
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}

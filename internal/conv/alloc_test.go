@@ -1,0 +1,96 @@
+package conv
+
+import (
+	"testing"
+
+	"gpucnn/internal/tensor"
+)
+
+// tableIConfigs mirrors workload.TableI (the paper's Conv1–Conv5) at
+// Batch=1: testing.AllocsPerRun forces GOMAXPROCS to 1 while measuring,
+// so a full batch would only repeat the same serial code path 128 times
+// slower. (workload itself imports conv, so the configs are restated
+// here rather than imported.)
+var tableIConfigs = []struct {
+	name string
+	cfg  Config
+}{
+	{"Conv1", Config{Batch: 1, Input: 128, Channels: 3, Filters: 96, Kernel: 11, Stride: 1}},
+	{"Conv2", Config{Batch: 1, Input: 128, Channels: 64, Filters: 96, Kernel: 3, Stride: 1}},
+	{"Conv3", Config{Batch: 1, Input: 32, Channels: 128, Filters: 128, Kernel: 9, Stride: 1}},
+	{"Conv4", Config{Batch: 1, Input: 16, Channels: 128, Filters: 128, Kernel: 7, Stride: 1}},
+	{"Conv5", Config{Batch: 1, Input: 13, Channels: 384, Filters: 384, Kernel: 3, Stride: 1}},
+}
+
+func allocTensors(cfg Config) (x, w, y, dx, dw, dy *tensor.Tensor) {
+	x = tensor.New(cfg.InputShape()...)
+	w = tensor.New(cfg.FilterShape()...)
+	y = tensor.New(cfg.OutputShape()...)
+	dx = tensor.New(cfg.InputShape()...)
+	dw = tensor.New(cfg.FilterShape()...)
+	dy = tensor.New(cfg.OutputShape()...)
+	for i := range x.Data {
+		x.Data[i] = float32(i%7) - 3
+	}
+	for i := range w.Data {
+		w.Data[i] = float32(i%5) - 2
+	}
+	for i := range dy.Data {
+		dy.Data[i] = float32(i%3) - 1
+	}
+	return
+}
+
+// assertZeroAlloc warms f until the arena capacities converge, then
+// requires a steady-state pass to stay off the heap entirely.
+func assertZeroAlloc(t *testing.T, name string, f func()) {
+	t.Helper()
+	f()
+	f()
+	if allocs := testing.AllocsPerRun(1, f); allocs != 0 {
+		t.Errorf("%s: %v allocs per steady-state run, want 0", name, allocs)
+	}
+}
+
+// TestUnrollZeroAllocTableI is the acceptance gate: Conv1–Conv5
+// forward and backward through the unrolling engine must perform zero
+// steady-state heap allocations.
+func TestUnrollZeroAllocTableI(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime instruments allocations")
+	}
+	if testing.Short() {
+		t.Skip("multi-GFLOP measurement, skipped in -short")
+	}
+	for _, tc := range tableIConfigs {
+		x, w, y, dx, dw, dy := allocTensors(tc.cfg)
+		assertZeroAlloc(t, tc.name+"/forward", func() {
+			UnrollForward(tc.cfg, x, w, y)
+		})
+		assertZeroAlloc(t, tc.name+"/backward-data", func() {
+			UnrollBackwardData(tc.cfg, dy, w, dx)
+		})
+		assertZeroAlloc(t, tc.name+"/backward-filter", func() {
+			UnrollBackwardFilter(tc.cfg, x, dy, dw)
+		})
+	}
+}
+
+// TestOtherEnginesZeroAlloc covers the remaining arena-backed strategy
+// functions on a small 3×3/stride-1 shape all of them support.
+func TestOtherEnginesZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime instruments allocations")
+	}
+	cfg := Config{Batch: 2, Input: 12, Channels: 4, Filters: 6, Kernel: 3, Stride: 1, Pad: 1}
+	x, w, y, dx, dw, dy := allocTensors(cfg)
+	assertZeroAlloc(t, "direct/forward", func() { DirectForward(cfg, x, w, y) })
+	assertZeroAlloc(t, "direct/backward-data", func() { DirectBackwardData(cfg, dy, w, dx) })
+	assertZeroAlloc(t, "direct/backward-filter", func() { DirectBackwardFilter(cfg, x, dy, dw) })
+	assertZeroAlloc(t, "fft/forward", func() { FFTForward(cfg, x, w, y) })
+	assertZeroAlloc(t, "fft/backward-data", func() { FFTBackwardData(cfg, dy, w, dx) })
+	assertZeroAlloc(t, "fft/backward-filter", func() { FFTBackwardFilter(cfg, x, dy, dw) })
+	assertZeroAlloc(t, "winograd/forward", func() { WinogradForward(cfg, x, w, y) })
+	assertZeroAlloc(t, "winograd/backward-data", func() { WinogradBackwardData(cfg, dy, w, dx) })
+	assertZeroAlloc(t, "winograd4/forward", func() { Winograd4Forward(cfg, x, w, y) })
+}

@@ -1,0 +1,53 @@
+package conv
+
+import (
+	"testing"
+
+	"gpucnn/internal/tensor"
+)
+
+// benchConfigs are the paper's Conv1–Conv5 shapes at Batch=1, matching
+// the alloc tests; per-op FLOP counts make runs comparable across batch
+// sizes.
+func benchTensors(cfg Config) (x, w, y *tensor.Tensor) {
+	x = tensor.New(cfg.InputShape()...)
+	w = tensor.New(cfg.FilterShape()...)
+	y = tensor.New(cfg.OutputShape()...)
+	for i := range x.Data {
+		x.Data[i] = float32(i%7) - 3
+	}
+	for i := range w.Data {
+		w.Data[i] = float32(i%5) - 2
+	}
+	return
+}
+
+// BenchmarkConvForward measures the arena-backed unrolling engine on
+// the paper's Table I layers.
+func BenchmarkConvForward(b *testing.B) {
+	for _, tc := range tableIConfigs {
+		x, w, y := benchTensors(tc.cfg)
+		b.Run("unroll/"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				UnrollForward(tc.cfg, x, w, y)
+			}
+			b.ReportMetric(tc.cfg.ForwardFLOPs()*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+			b.ReportAllocs()
+		})
+	}
+	small := Config{Batch: 1, Input: 32, Channels: 16, Filters: 16, Kernel: 3, Stride: 1, Pad: 1}
+	x, w, y := benchTensors(small)
+	b.Run("fft/small3x3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			FFTForward(small, x, w, y)
+		}
+		b.ReportAllocs()
+	})
+	b.Run("winograd/small3x3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			WinogradForward(small, x, w, y)
+		}
+		b.ReportMetric(small.ForwardFLOPs()*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+		b.ReportAllocs()
+	})
+}

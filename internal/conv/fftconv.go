@@ -7,6 +7,7 @@ import (
 	"gpucnn/internal/gemm"
 	"gpucnn/internal/par"
 	"gpucnn/internal/tensor"
+	"gpucnn/internal/workspace"
 )
 
 // FFTPlanSize returns the per-axis transform size used by the FFT
@@ -23,33 +24,119 @@ func fftCheckStride(cfg Config) {
 	}
 }
 
-// paddedImage copies one C×i×i image into a zero-padded C×ip×ip buffer,
-// or returns the original slice when pad == 0.
-func paddedImage(cfg Config, img []float32) ([]float32, int) {
+// paddedPlane copies one i×i channel plane into an arena-carved
+// zero-padded ip×ip buffer, or returns the original plane when pad == 0.
+func paddedPlane(cfg Config, plane []float32, ws *workspace.Arena) ([]float32, int) {
 	ip := cfg.Input + 2*cfg.Pad
 	if cfg.Pad == 0 {
-		return img, ip
+		return plane[:ip*ip], ip
 	}
-	out := make([]float32, cfg.Channels*ip*ip)
-	for c := 0; c < cfg.Channels; c++ {
-		for r := 0; r < cfg.Input; r++ {
-			src := img[(c*cfg.Input+r)*cfg.Input:]
-			dst := out[(c*ip+r+cfg.Pad)*ip+cfg.Pad:]
-			copy(dst[:cfg.Input], src[:cfg.Input])
-		}
+	out := ws.Float32(ip * ip)
+	for r := 0; r < cfg.Input; r++ {
+		copy(out[(r+cfg.Pad)*ip+cfg.Pad:][:cfg.Input], plane[r*cfg.Input:][:cfg.Input])
 	}
 	return out, ip
 }
 
-// transformFilters FFTs every (f, c) filter plane into an n×n grid.
-func transformFilters(cfg Config, plan *fft.Plan2D, w *tensor.Tensor) [][]complex64 {
-	k := cfg.Kernel
-	grids := make([][]complex64, cfg.Filters*cfg.Channels)
-	par.ForEach(len(grids), func(j int) {
-		grids[j] = plan.ForwardReal(w.Data[j*k*k:(j+1)*k*k], k, k)
-	})
-	return grids
+// fftPlaneJob FFTs real planes (h×w each, stored flat in src) into
+// flat n×n frequency grids in dst; pooled for allocation-free dispatch.
+type fftPlaneJob struct {
+	plan     *fft.Plan2D
+	h, w, nn int
+	src      []float32
+	dst      []complex64
 }
+
+func (j *fftPlaneJob) Run(i int) {
+	plane := j.src[i*j.h*j.w : (i+1)*j.h*j.w]
+	j.plan.ForwardRealInto(plane, j.h, j.w, j.dst[i*j.nn:(i+1)*j.nn])
+}
+
+var fftPlanePool = newJobPool[fftPlaneJob]()
+
+// fftPadPlaneJob FFTs zero-padded input channel planes: plane j is
+// channel j%C of image j/C, padded to ip×ip before the transform.
+type fftPadPlaneJob struct {
+	cfg    Config
+	plan   *fft.Plan2D
+	nn     int
+	imgLen int
+	x      []float32
+	dst    []complex64
+}
+
+func (j *fftPadPlaneJob) Run(i int) {
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	c := j.cfg.Channels
+	bi, ci := i/c, i%c
+	plane := j.x[bi*j.imgLen+ci*j.cfg.Input*j.cfg.Input:]
+	padded, ip := paddedPlane(j.cfg, plane, ws)
+	j.plan.ForwardRealInto(padded, ip, ip, j.dst[i*j.nn:(i+1)*j.nn])
+}
+
+var fftPadPlanePool = newJobPool[fftPadPlaneJob]()
+
+// transformFiltersInto FFTs every (f, c) filter plane into flat n×n
+// grids carved by the caller.
+func transformFiltersInto(cfg Config, plan *fft.Plan2D, w []float32, dst []complex64) {
+	k := cfg.Kernel
+	j := fftPlanePool.Get()
+	j.plan, j.h, j.w, j.nn = plan, k, k, plan.N()*plan.N()
+	j.src, j.dst = w, dst
+	par.ForEachRunner(cfg.Filters*cfg.Channels, j)
+	j.src, j.dst = nil, nil
+	fftPlanePool.Put(j)
+}
+
+// transformPaddedInputsInto FFTs every (batch, channel) input plane —
+// zero-padded — into flat grids carved by the caller.
+func transformPaddedInputsInto(cfg Config, plan *fft.Plan2D, x []float32, dst []complex64) {
+	j := fftPadPlanePool.Get()
+	j.cfg, j.plan, j.nn = cfg, plan, plan.N()*plan.N()
+	j.imgLen = cfg.Channels * cfg.Input * cfg.Input
+	j.x, j.dst = x, dst
+	par.ForEachRunner(cfg.Batch*cfg.Channels, j)
+	j.x, j.dst = nil, nil
+	fftPadPlanePool.Put(j)
+}
+
+// fftFwdJob computes one image's outputs: it transforms the image's
+// channel planes into per-worker arena grids (so the live grid
+// footprint stays at workers×C×n², not batch×C×n²) and reduces them
+// against the shared pre-transformed filter spectra.
+type fftFwdJob struct {
+	cfg    Config
+	plan   *fft.Plan2D
+	nn, o  int
+	imgLen int
+	x      []float32
+	wgrids []complex64
+	y      []float32
+}
+
+func (j *fftFwdJob) Run(bi int) {
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	cfg, nn, o := j.cfg, j.nn, j.o
+	planeLen := cfg.Input * cfg.Input
+	xg := ws.Complex64Uninit(cfg.Channels * nn)
+	for c := 0; c < cfg.Channels; c++ {
+		plane := j.x[bi*j.imgLen+c*planeLen:]
+		padded, ip := paddedPlane(cfg, plane, ws)
+		j.plan.ForwardRealInto(padded, ip, ip, xg[c*nn:(c+1)*nn])
+	}
+	acc := ws.Complex64Uninit(nn)
+	for f := 0; f < cfg.Filters; f++ {
+		clear(acc)
+		for c := 0; c < cfg.Channels; c++ {
+			gemm.CMulAccPointwise(acc, xg[c*nn:(c+1)*nn], j.wgrids[(f*cfg.Channels+c)*nn:(f*cfg.Channels+c+1)*nn], true)
+		}
+		j.plan.InverseRealInto(acc, j.y[(bi*cfg.Filters+f)*o*o:(bi*cfg.Filters+f+1)*o*o], o, o, 0, 0)
+	}
+}
+
+var fftFwdPool = newJobPool[fftFwdJob]()
 
 // FFTForward computes the convolution in the frequency domain:
 // transform inputs and filters, multiply input spectra with conjugated
@@ -59,28 +146,49 @@ func FFTForward(cfg Config, x, w, y *tensor.Tensor) {
 	fftCheckStride(cfg)
 	checkShapes(cfg, x, w, y)
 	n := FFTPlanSize(cfg)
-	plan := fft.NewPlan2D(n)
-	wgrids := transformFilters(cfg, plan, w)
-	o := cfg.Out()
-	imgLen := cfg.Channels * cfg.Input * cfg.Input
-	par.ForEach(cfg.Batch, func(bi int) {
-		img, ip := paddedImage(cfg, x.Data[bi*imgLen:(bi+1)*imgLen])
-		xgrids := make([][]complex64, cfg.Channels)
-		for c := 0; c < cfg.Channels; c++ {
-			xgrids[c] = plan.ForwardReal(img[c*ip*ip:(c+1)*ip*ip], ip, ip)
-		}
-		acc := make([]complex64, plan.N()*plan.N())
-		for f := 0; f < cfg.Filters; f++ {
-			for i := range acc {
-				acc[i] = 0
-			}
-			for c := 0; c < cfg.Channels; c++ {
-				gemm.CMulAccPointwise(acc, xgrids[c], wgrids[f*cfg.Channels+c], true)
-			}
-			plan.InverseRealInto(acc, y.Data[((bi*cfg.Filters+f)*o*o):((bi*cfg.Filters+f)+1)*o*o], o, o, 0, 0)
-		}
-	})
+	plan := fft.Plan2DFor(n)
+	nn := n * n
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	wgrids := ws.Complex64Uninit(cfg.Filters * cfg.Channels * nn)
+	transformFiltersInto(cfg, plan, w.Data, wgrids)
+	j := fftFwdPool.Get()
+	j.cfg, j.plan, j.nn, j.o = cfg, plan, nn, cfg.Out()
+	j.imgLen = cfg.Channels * cfg.Input * cfg.Input
+	j.x, j.wgrids, j.y = x.Data, wgrids, y.Data
+	par.ForEachRunner(cfg.Batch, j)
+	j.x, j.wgrids, j.y = nil, nil, nil
+	fftFwdPool.Put(j)
 }
+
+// fftBwdDataJob computes one image's input gradient from
+// pre-transformed output-gradient and filter spectra.
+type fftBwdDataJob struct {
+	cfg     Config
+	plan    *fft.Plan2D
+	nn      int
+	dygrids []complex64
+	wgrids  []complex64
+	dx      []float32
+}
+
+func (j *fftBwdDataJob) Run(bi int) {
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	cfg, nn := j.cfg, j.nn
+	i := cfg.Input
+	acc := ws.Complex64Uninit(nn)
+	dyg := j.dygrids[bi*cfg.Filters*nn:]
+	for c := 0; c < cfg.Channels; c++ {
+		clear(acc)
+		for f := 0; f < cfg.Filters; f++ {
+			gemm.CMulAccPointwise(acc, dyg[f*nn:(f+1)*nn], j.wgrids[(f*cfg.Channels+c)*nn:(f*cfg.Channels+c+1)*nn], false)
+		}
+		j.plan.InverseRealInto(acc, j.dx[(bi*cfg.Channels+c)*i*i:(bi*cfg.Channels+c+1)*i*i], i, i, cfg.Pad, cfg.Pad)
+	}
+}
+
+var fftBwdDataPool = newJobPool[fftBwdDataJob]()
 
 // FFTBackwardData computes dx in the frequency domain: the gradient is
 // the full (non-conjugated) product of output-gradient spectra with
@@ -89,27 +197,54 @@ func FFTBackwardData(cfg Config, dy, w, dx *tensor.Tensor) {
 	fftCheckStride(cfg)
 	checkShapes(cfg, dx, w, dy)
 	n := FFTPlanSize(cfg)
-	plan := fft.NewPlan2D(n)
-	wgrids := transformFilters(cfg, plan, w)
+	plan := fft.Plan2DFor(n)
+	nn := n * n
 	o := cfg.Out()
-	i := cfg.Input
-	par.ForEach(cfg.Batch, func(bi int) {
-		dygrids := make([][]complex64, cfg.Filters)
-		for f := 0; f < cfg.Filters; f++ {
-			dygrids[f] = plan.ForwardReal(dy.Data[(bi*cfg.Filters+f)*o*o:(bi*cfg.Filters+f+1)*o*o], o, o)
-		}
-		acc := make([]complex64, plan.N()*plan.N())
-		for c := 0; c < cfg.Channels; c++ {
-			for j := range acc {
-				acc[j] = 0
-			}
-			for f := 0; f < cfg.Filters; f++ {
-				gemm.CMulAccPointwise(acc, dygrids[f], wgrids[f*cfg.Channels+c], false)
-			}
-			plan.InverseRealInto(acc, dx.Data[(bi*cfg.Channels+c)*i*i:(bi*cfg.Channels+c+1)*i*i], i, i, cfg.Pad, cfg.Pad)
-		}
-	})
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	wgrids := ws.Complex64Uninit(cfg.Filters * cfg.Channels * nn)
+	transformFiltersInto(cfg, plan, w.Data, wgrids)
+	dygrids := ws.Complex64Uninit(cfg.Batch * cfg.Filters * nn)
+	pj := fftPlanePool.Get()
+	pj.plan, pj.h, pj.w, pj.nn = plan, o, o, nn
+	pj.src, pj.dst = dy.Data, dygrids
+	par.ForEachRunner(cfg.Batch*cfg.Filters, pj)
+	pj.src, pj.dst = nil, nil
+	fftPlanePool.Put(pj)
+	j := fftBwdDataPool.Get()
+	j.cfg, j.plan, j.nn = cfg, plan, nn
+	j.dygrids, j.wgrids, j.dx = dygrids, wgrids, dx.Data
+	par.ForEachRunner(cfg.Batch, j)
+	j.dygrids, j.wgrids, j.dx = nil, nil, nil
+	fftBwdDataPool.Put(j)
 }
+
+// fftBwdFilterJob reduces one (filter, channel) pair's gradient
+// spectrum over the batch.
+type fftBwdFilterJob struct {
+	cfg     Config
+	plan    *fft.Plan2D
+	nn      int
+	xgrids  []complex64
+	dygrids []complex64
+	dw      []float32
+}
+
+func (j *fftBwdFilterJob) Run(idx int) {
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	cfg, nn := j.cfg, j.nn
+	k := cfg.Kernel
+	f, c := idx/cfg.Channels, idx%cfg.Channels
+	acc := ws.Complex64(nn)
+	for bi := 0; bi < cfg.Batch; bi++ {
+		gemm.CMulAccPointwise(acc, j.xgrids[(bi*cfg.Channels+c)*nn:(bi*cfg.Channels+c+1)*nn],
+			j.dygrids[(bi*cfg.Filters+f)*nn:(bi*cfg.Filters+f+1)*nn], true)
+	}
+	j.plan.InverseRealInto(acc, j.dw[idx*k*k:(idx+1)*k*k], k, k, 0, 0)
+}
+
+var fftBwdFilterPool = newJobPool[fftBwdFilterJob]()
 
 // FFTBackwardFilter computes dw in the frequency domain: for each
 // (filter, channel) pair the gradient spectrum is Σ_batch X·conj(DY),
@@ -118,28 +253,26 @@ func FFTBackwardFilter(cfg Config, x, dy, dw *tensor.Tensor) {
 	fftCheckStride(cfg)
 	checkShapes(cfg, x, dw, dy)
 	n := FFTPlanSize(cfg)
-	plan := fft.NewPlan2D(n)
+	plan := fft.Plan2DFor(n)
+	nn := n * n
 	o := cfg.Out()
-	k := cfg.Kernel
-	imgLen := cfg.Channels * cfg.Input * cfg.Input
+	ws := workspace.Get()
+	defer workspace.Put(ws)
 	// Transform all activations and gradients up front; the per-(f,c)
 	// reduction below then reads them without synchronisation.
-	xgrids := make([][]complex64, cfg.Batch*cfg.Channels)
-	par.ForEach(len(xgrids), func(j int) {
-		bi, c := j/cfg.Channels, j%cfg.Channels
-		img, ip := paddedImage(cfg, x.Data[bi*imgLen:(bi+1)*imgLen])
-		xgrids[j] = plan.ForwardReal(img[c*ip*ip:(c+1)*ip*ip], ip, ip)
-	})
-	dygrids := make([][]complex64, cfg.Batch*cfg.Filters)
-	par.ForEach(len(dygrids), func(j int) {
-		dygrids[j] = plan.ForwardReal(dy.Data[j*o*o:(j+1)*o*o], o, o)
-	})
-	par.ForEach(cfg.Filters*cfg.Channels, func(j int) {
-		f, c := j/cfg.Channels, j%cfg.Channels
-		acc := make([]complex64, plan.N()*plan.N())
-		for bi := 0; bi < cfg.Batch; bi++ {
-			gemm.CMulAccPointwise(acc, xgrids[bi*cfg.Channels+c], dygrids[bi*cfg.Filters+f], true)
-		}
-		plan.InverseRealInto(acc, dw.Data[j*k*k:(j+1)*k*k], k, k, 0, 0)
-	})
+	xgrids := ws.Complex64Uninit(cfg.Batch * cfg.Channels * nn)
+	transformPaddedInputsInto(cfg, plan, x.Data, xgrids)
+	dygrids := ws.Complex64Uninit(cfg.Batch * cfg.Filters * nn)
+	pj := fftPlanePool.Get()
+	pj.plan, pj.h, pj.w, pj.nn = plan, o, o, nn
+	pj.src, pj.dst = dy.Data, dygrids
+	par.ForEachRunner(cfg.Batch*cfg.Filters, pj)
+	pj.src, pj.dst = nil, nil
+	fftPlanePool.Put(pj)
+	j := fftBwdFilterPool.Get()
+	j.cfg, j.plan, j.nn = cfg, plan, nn
+	j.xgrids, j.dygrids, j.dw = xgrids, dygrids, dw.Data
+	par.ForEachRunner(cfg.Filters*cfg.Channels, j)
+	j.xgrids, j.dygrids, j.dw = nil, nil, nil
+	fftBwdFilterPool.Put(j)
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package conv
+
+const raceEnabled = false

@@ -1,0 +1,16 @@
+package conv
+
+import "sync"
+
+// jobPool is a typed sync.Pool for the pooled par.Runner job structs
+// the strategy functions dispatch: reusing the struct (and storing a
+// pointer in the Runner interface) keeps steady-state dispatch
+// allocation-free.
+type jobPool[T any] struct{ p sync.Pool }
+
+func newJobPool[T any]() *jobPool[T] {
+	return &jobPool[T]{p: sync.Pool{New: func() any { return new(T) }}}
+}
+
+func (jp *jobPool[T]) Get() *T  { return jp.p.Get().(*T) }
+func (jp *jobPool[T]) Put(t *T) { jp.p.Put(t) }

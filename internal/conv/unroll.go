@@ -1,10 +1,13 @@
 package conv
 
 import (
+	"runtime"
+
 	"gpucnn/internal/gemm"
 	"gpucnn/internal/im2col"
 	"gpucnn/internal/par"
 	"gpucnn/internal/tensor"
+	"gpucnn/internal/workspace"
 )
 
 // geom builds the im2col geometry for one image of the config.
@@ -17,6 +20,29 @@ func (c Config) geom() im2col.Geom {
 	}
 }
 
+// unrollFwdJob is the pooled per-image work unit of UnrollForward: the
+// im2col column matrix is carved from a per-worker arena instead of
+// allocated per image.
+type unrollFwdJob struct {
+	g              im2col.Geom
+	rows, cols     int
+	imgLen, outLen int
+	filters        int
+	x, w, y        []float32
+}
+
+func (j *unrollFwdJob) Run(n int) {
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	// Im2col writes every column entry, so the carve can stay dirty.
+	col := ws.Float32Uninit(j.rows * j.cols)
+	im2col.Im2col(j.g, j.x[n*j.imgLen:(n+1)*j.imgLen], col)
+	// y_n (f×o²) = W (f×(c·k²)) · col ((c·k²)×o²)
+	gemm.Blocked(1, j.w, col, 0, j.y[n*j.outLen:(n+1)*j.outLen], j.filters, j.cols, j.rows)
+}
+
+var unrollFwdPool = newJobPool[unrollFwdJob]()
+
 // UnrollForward computes the convolution by lowering each image to a
 // column matrix (im2col) and multiplying it by the filter bank viewed
 // as an f×(c·k²) matrix — the Caffe/Torch-cunn/Theano-CorrMM scheme,
@@ -24,57 +50,117 @@ func (c Config) geom() im2col.Geom {
 func UnrollForward(cfg Config, x, w, y *tensor.Tensor) {
 	checkShapes(cfg, x, w, y)
 	g := cfg.geom()
-	rows, cols := g.ColRows(), g.ColCols()
-	imgLen := cfg.Channels * cfg.Input * cfg.Input
-	outLen := cfg.Filters * cols
-	par.ForEach(cfg.Batch, func(n int) {
-		col := make([]float32, rows*cols)
-		im2col.Im2col(g, x.Data[n*imgLen:(n+1)*imgLen], col)
-		// y_n (f×o²) = W (f×(c·k²)) · col ((c·k²)×o²)
-		gemm.Blocked(1, w.Data, col, 0, y.Data[n*outLen:(n+1)*outLen], cfg.Filters, cols, rows)
-	})
+	j := unrollFwdPool.Get()
+	j.g, j.rows, j.cols = g, g.ColRows(), g.ColCols()
+	j.imgLen = cfg.Channels * cfg.Input * cfg.Input
+	j.outLen = cfg.Filters * j.cols
+	j.filters = cfg.Filters
+	j.x, j.w, j.y = x.Data, w.Data, y.Data
+	par.ForEachRunner(cfg.Batch, j)
+	j.x, j.w, j.y = nil, nil, nil
+	unrollFwdPool.Put(j)
 }
+
+// unrollBwdDataJob is the pooled per-image work unit of
+// UnrollBackwardData.
+type unrollBwdDataJob struct {
+	g              im2col.Geom
+	rows, cols     int
+	imgLen, outLen int
+	filters        int
+	dy, w, dx      []float32
+}
+
+func (j *unrollBwdDataJob) Run(n int) {
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	col := ws.Float32Uninit(j.rows * j.cols)
+	// col ((c·k²)×o²) = Wᵀ ((c·k²)×f) · dy_n (f×o²)
+	gemm.TN(1, j.w, j.dy[n*j.outLen:(n+1)*j.outLen], 0, col, j.rows, j.cols, j.filters)
+	im2col.Col2im(j.g, col, j.dx[n*j.imgLen:(n+1)*j.imgLen])
+}
+
+var unrollBwdDataPool = newJobPool[unrollBwdDataJob]()
 
 // UnrollBackwardData computes dx: per image, col = Wᵀ·dy_n followed by
 // col2im to scatter-accumulate the gradient back to input pixels.
 func UnrollBackwardData(cfg Config, dy, w, dx *tensor.Tensor) {
 	checkShapes(cfg, dx, w, dy)
 	g := cfg.geom()
-	rows, cols := g.ColRows(), g.ColCols()
-	imgLen := cfg.Channels * cfg.Input * cfg.Input
-	outLen := cfg.Filters * cols
-	par.ForEach(cfg.Batch, func(n int) {
-		col := make([]float32, rows*cols)
-		// col ((c·k²)×o²) = Wᵀ ((c·k²)×f) · dy_n (f×o²)
-		gemm.TN(1, w.Data, dy.Data[n*outLen:(n+1)*outLen], 0, col, rows, cols, cfg.Filters)
-		im2col.Col2im(g, col, dx.Data[n*imgLen:(n+1)*imgLen])
-	})
+	j := unrollBwdDataPool.Get()
+	j.g, j.rows, j.cols = g, g.ColRows(), g.ColCols()
+	j.imgLen = cfg.Channels * cfg.Input * cfg.Input
+	j.outLen = cfg.Filters * j.cols
+	j.filters = cfg.Filters
+	j.dy, j.w, j.dx = dy.Data, w.Data, dx.Data
+	par.ForEachRunner(cfg.Batch, j)
+	j.dy, j.w, j.dx = nil, nil, nil
+	unrollBwdDataPool.Put(j)
 }
 
-// UnrollBackwardFilter computes dw = Σ_n dy_n · col_nᵀ. Per-image
-// partial products are computed in parallel and reduced at the end, so
-// no worker writes shared state.
+// unrollBwdFilterJob processes one contiguous chunk of the batch,
+// accumulating that chunk's filter gradient into its own partial buffer
+// (one buffer per chunk, not per sample — the per-sample `partial`
+// allocation this replaces dominated backward-filter GC traffic).
+type unrollBwdFilterJob struct {
+	g              im2col.Geom
+	rows, cols     int
+	imgLen, outLen int
+	filters, wLen  int
+	batch, per     int
+	x, dy          []float32
+	partials       []float32
+}
+
+func (j *unrollBwdFilterJob) Run(ci int) {
+	lo := ci * j.per
+	hi := lo + j.per
+	if hi > j.batch {
+		hi = j.batch
+	}
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	col := ws.Float32Uninit(j.rows * j.cols)
+	partial := j.partials[ci*j.wLen : (ci+1)*j.wLen]
+	for n := lo; n < hi; n++ {
+		im2col.Im2col(j.g, j.x[n*j.imgLen:(n+1)*j.imgLen], col)
+		// dw_n (f×(c·k²)) = dy_n (f×o²) · colᵀ (o²×(c·k²)) — NT form
+		// with B stored row-major as (c·k²)×o²; beta=1 accumulates
+		// straight into the chunk partial.
+		gemm.NT(1, j.dy[n*j.outLen:(n+1)*j.outLen], col, 1, partial, j.filters, j.rows, j.cols)
+	}
+}
+
+var unrollBwdFilterPool = newJobPool[unrollBwdFilterJob]()
+
+// UnrollBackwardFilter computes dw = Σ_n dy_n · col_nᵀ. The batch is
+// split into one chunk per worker; each chunk accumulates into a
+// private arena-carved partial and the partials are reduced serially,
+// so no worker writes shared state.
 func UnrollBackwardFilter(cfg Config, x, dy, dw *tensor.Tensor) {
 	checkShapes(cfg, x, dw, dy)
 	g := cfg.geom()
-	rows, cols := g.ColRows(), g.ColCols()
-	imgLen := cfg.Channels * cfg.Input * cfg.Input
-	outLen := cfg.Filters * cols
-	wLen := cfg.Filters * rows
-	partials := make([][]float32, cfg.Batch)
-	par.ForEach(cfg.Batch, func(n int) {
-		col := make([]float32, rows*cols)
-		im2col.Im2col(g, x.Data[n*imgLen:(n+1)*imgLen], col)
-		partial := make([]float32, wLen)
-		// dw_n (f×(c·k²)) = dy_n (f×o²) · colᵀ (o²×(c·k²)) — NT form
-		// with B stored row-major as (c·k²)×o².
-		gemm.NT(1, dy.Data[n*outLen:(n+1)*outLen], col, 0, partial, cfg.Filters, rows, cols)
-		partials[n] = partial
-	})
-	for i := range dw.Data {
-		dw.Data[i] = 0
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Batch {
+		workers = cfg.Batch
 	}
-	for _, partial := range partials {
+	wLen := cfg.Filters * g.ColRows()
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	partials := ws.Float32(workers * wLen)
+	j := unrollBwdFilterPool.Get()
+	j.g, j.rows, j.cols = g, g.ColRows(), g.ColCols()
+	j.imgLen = cfg.Channels * cfg.Input * cfg.Input
+	j.outLen = cfg.Filters * j.cols
+	j.filters, j.wLen = cfg.Filters, wLen
+	j.batch, j.per = cfg.Batch, (cfg.Batch+workers-1)/workers
+	j.x, j.dy, j.partials = x.Data, dy.Data, partials
+	par.ForEachNRunner(workers, workers, j)
+	j.x, j.dy, j.partials = nil, nil, nil
+	unrollBwdFilterPool.Put(j)
+	clear(dw.Data)
+	for w := 0; w < workers; w++ {
+		partial := partials[w*wLen : (w+1)*wLen]
 		for i, v := range partial {
 			dw.Data[i] += v
 		}

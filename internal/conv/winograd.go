@@ -5,6 +5,7 @@ import (
 
 	"gpucnn/internal/par"
 	"gpucnn/internal/tensor"
+	"gpucnn/internal/workspace"
 )
 
 // Winograd F(2×2, 3×3) convolution — the minimal-filtering algorithm
@@ -93,6 +94,79 @@ func WinogradSupported(cfg Config) error {
 	return nil
 }
 
+// wgFilterJob transforms filter planes into a flat arena-carved U
+// buffer (16 floats per plane); pooled for allocation-free dispatch.
+type wgFilterJob struct {
+	w, us []float32
+}
+
+func (j *wgFilterJob) Run(i int) {
+	winogradFilter(j.w[i*9:(i+1)*9], (*[16]float32)(j.us[i*16:(i+1)*16]))
+}
+
+var wgFilterPool = newJobPool[wgFilterJob]()
+
+// wgTileJob computes one (batch, filter) output plane from the
+// pre-transformed filter bank.
+type wgTileJob struct {
+	c, i, f, p, o int
+	x, us, y      []float32
+}
+
+func (j *wgTileJob) Run(job int) {
+	c, i, p, o := j.c, j.i, j.p, j.o
+	tilesY := (o + 1) / 2
+	tilesX := (o + 1) / 2
+	n, fi := job/j.f, job%j.f
+	out := j.y[(n*j.f+fi)*o*o:]
+	var d, v, m [16]float32
+	var ytile [4]float32
+	for ty := 0; ty < tilesY; ty++ {
+		for tx := 0; tx < tilesX; tx++ {
+			for k := range m {
+				m[k] = 0
+			}
+			for ci := 0; ci < c; ci++ {
+				// Gather the 4×4 input tile (with padding).
+				xChan := j.x[(n*c+ci)*i*i:]
+				for r := 0; r < 4; r++ {
+					iy := ty*2 + r - p
+					for cc := 0; cc < 4; cc++ {
+						ix := tx*2 + cc - p
+						if iy < 0 || iy >= i || ix < 0 || ix >= i {
+							d[r*4+cc] = 0
+						} else {
+							d[r*4+cc] = xChan[iy*i+ix]
+						}
+					}
+				}
+				winogradInput(&d, &v)
+				u := (*[16]float32)(j.us[(fi*c+ci)*16:])
+				for k := 0; k < 16; k++ {
+					m[k] += u[k] * v[k]
+				}
+			}
+			winogradOutput(&m, &ytile)
+			// Scatter the 2×2 output tile (clipping the ragged edge).
+			for r := 0; r < 2; r++ {
+				oy := ty*2 + r
+				if oy >= o {
+					continue
+				}
+				for cc := 0; cc < 2; cc++ {
+					ox := tx*2 + cc
+					if ox >= o {
+						continue
+					}
+					out[oy*o+ox] = ytile[r*2+cc]
+				}
+			}
+		}
+	}
+}
+
+var wgTilePool = newJobPool[wgTileJob]()
+
 // WinogradForward computes y = x ⋆ w with the F(2×2, 3×3) minimal
 // filtering algorithm. Results match DirectForward within float32
 // round-off. Work is distributed over (batch, filter) pairs.
@@ -101,65 +175,31 @@ func WinogradForward(cfg Config, x, w, y *tensor.Tensor) {
 		panic(err)
 	}
 	checkShapes(cfg, x, w, y)
-	b, c, i := cfg.Batch, cfg.Channels, cfg.Input
-	f, p, o := cfg.Filters, cfg.Pad, cfg.Out()
-	tilesY := (o + 1) / 2
-	tilesX := (o + 1) / 2
+	winogradForwardRaw(cfg, x.Data, w.Data, y.Data)
+}
 
-	// Pre-transform every filter plane: U[f][c] is 16 floats.
-	us := make([][16]float32, f*c)
-	par.ForEach(f*c, func(j int) {
-		winogradFilter(w.Data[j*9:(j+1)*9], &us[j])
-	})
+// winogradForwardRaw is WinogradForward on raw slices, used by the
+// backward-data pass so the reinterpreted filter bank can live in an
+// arena carve-out instead of a fresh tensor.
+func winogradForwardRaw(cfg Config, x, w, y []float32) {
+	f, c := cfg.Filters, cfg.Channels
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	// Pre-transform every filter plane: U[f][c] is 16 floats, stored
+	// flat in the arena.
+	us := ws.Float32Uninit(f * c * 16)
+	fj := wgFilterPool.Get()
+	fj.w, fj.us = w, us
+	par.ForEachRunner(f*c, fj)
+	fj.w, fj.us = nil, nil
+	wgFilterPool.Put(fj)
 
-	par.ForEach(b*f, func(job int) {
-		n, fi := job/f, job%f
-		out := y.Data[(n*f+fi)*o*o:]
-		var d, v, m [16]float32
-		var ytile [4]float32
-		for ty := 0; ty < tilesY; ty++ {
-			for tx := 0; tx < tilesX; tx++ {
-				for k := range m {
-					m[k] = 0
-				}
-				for ci := 0; ci < c; ci++ {
-					// Gather the 4×4 input tile (with padding).
-					xChan := x.Data[(n*c+ci)*i*i:]
-					for r := 0; r < 4; r++ {
-						iy := ty*2 + r - p
-						for cc := 0; cc < 4; cc++ {
-							ix := tx*2 + cc - p
-							if iy < 0 || iy >= i || ix < 0 || ix >= i {
-								d[r*4+cc] = 0
-							} else {
-								d[r*4+cc] = xChan[iy*i+ix]
-							}
-						}
-					}
-					winogradInput(&d, &v)
-					u := &us[fi*c+ci]
-					for k := 0; k < 16; k++ {
-						m[k] += u[k] * v[k]
-					}
-				}
-				winogradOutput(&m, &ytile)
-				// Scatter the 2×2 output tile (clipping the ragged edge).
-				for r := 0; r < 2; r++ {
-					oy := ty*2 + r
-					if oy >= o {
-						continue
-					}
-					for cc := 0; cc < 2; cc++ {
-						ox := tx*2 + cc
-						if ox >= o {
-							continue
-						}
-						out[oy*o+ox] = ytile[r*2+cc]
-					}
-				}
-			}
-		}
-	})
+	tj := wgTilePool.Get()
+	tj.c, tj.i, tj.f, tj.p, tj.o = c, cfg.Input, f, cfg.Pad, cfg.Out()
+	tj.x, tj.us, tj.y = x, us, y
+	par.ForEachRunner(cfg.Batch*f, tj)
+	tj.x, tj.us, tj.y = nil, nil, nil
+	wgTilePool.Put(tj)
 }
 
 // WinogradMultiplies returns the number of elementwise multiplies the
@@ -193,16 +233,34 @@ func WinogradBackwardData(cfg Config, dy, w, dx *tensor.Tensor) {
 	if got := back.Out(); got != cfg.Input {
 		panic(fmt.Sprintf("conv: winograd backward geometry produced %d, want %d", got, cfg.Input))
 	}
-	// wT[c][f] = rot180(w[f][c]).
+	// wT[c][f] = rot180(w[f][c]), built in an arena carve-out.
 	k := cfg.Kernel
-	wT := tensor.New(cfg.Channels, cfg.Filters, k, k)
-	par.ForEach(cfg.Filters*cfg.Channels, func(j int) {
-		f, c := j/cfg.Channels, j%cfg.Channels
-		src := w.Data[(f*cfg.Channels+c)*k*k:]
-		dst := wT.Data[(c*cfg.Filters+f)*k*k:]
-		for idx := 0; idx < k*k; idx++ {
-			dst[idx] = src[k*k-1-idx]
-		}
-	})
-	WinogradForward(back, dy, wT, dx)
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	wT := ws.Float32Uninit(cfg.Channels * cfg.Filters * k * k)
+	rj := wgRotPool.Get()
+	rj.k2, rj.f, rj.c = k*k, cfg.Filters, cfg.Channels
+	rj.w, rj.wT = w.Data, wT
+	par.ForEachRunner(cfg.Filters*cfg.Channels, rj)
+	rj.w, rj.wT = nil, nil
+	wgRotPool.Put(rj)
+	winogradForwardRaw(back, dy.Data, wT, dx.Data)
 }
+
+// wgRotJob builds the rotated, channel-transposed filter bank used by
+// the backward-data pass.
+type wgRotJob struct {
+	k2, f, c int
+	w, wT    []float32
+}
+
+func (j *wgRotJob) Run(idx int) {
+	f, c := idx/j.c, idx%j.c
+	src := j.w[(f*j.c+c)*j.k2:]
+	dst := j.wT[(c*j.f+f)*j.k2:]
+	for t := 0; t < j.k2; t++ {
+		dst[t] = src[j.k2-1-t]
+	}
+}
+
+var wgRotPool = newJobPool[wgRotJob]()

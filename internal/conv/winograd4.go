@@ -3,6 +3,7 @@ package conv
 import (
 	"gpucnn/internal/par"
 	"gpucnn/internal/tensor"
+	"gpucnn/internal/workspace"
 )
 
 // Winograd F(4×4, 3×3): the higher-order minimal-filtering variant with
@@ -111,6 +112,75 @@ func winograd4Output(m *[36]float32, y *[16]float32) {
 	}
 }
 
+// wg4FilterJob transforms filter planes into a flat arena-carved U
+// buffer (36 floats per plane).
+type wg4FilterJob struct {
+	w, us []float32
+}
+
+func (j *wg4FilterJob) Run(i int) {
+	winograd4Filter(j.w[i*9:(i+1)*9], (*[36]float32)(j.us[i*36:(i+1)*36]))
+}
+
+var wg4FilterPool = newJobPool[wg4FilterJob]()
+
+// wg4TileJob computes one (batch, filter) output plane.
+type wg4TileJob struct {
+	c, i, f, p, o int
+	x, us, y      []float32
+}
+
+func (j *wg4TileJob) Run(job int) {
+	c, i, p, o := j.c, j.i, j.p, j.o
+	tiles := (o + 3) / 4
+	n, fi := job/j.f, job%j.f
+	out := j.y[(n*j.f+fi)*o*o:]
+	var d, v, m [36]float32
+	var ytile [16]float32
+	for ty := 0; ty < tiles; ty++ {
+		for tx := 0; tx < tiles; tx++ {
+			for k := range m {
+				m[k] = 0
+			}
+			for ci := 0; ci < c; ci++ {
+				xChan := j.x[(n*c+ci)*i*i:]
+				for r := 0; r < 6; r++ {
+					iy := ty*4 + r - p
+					for cc := 0; cc < 6; cc++ {
+						ix := tx*4 + cc - p
+						if iy < 0 || iy >= i || ix < 0 || ix >= i {
+							d[r*6+cc] = 0
+						} else {
+							d[r*6+cc] = xChan[iy*i+ix]
+						}
+					}
+				}
+				winograd4Input(&d, &v)
+				u := (*[36]float32)(j.us[(fi*c+ci)*36:])
+				for k := 0; k < 36; k++ {
+					m[k] += u[k] * v[k]
+				}
+			}
+			winograd4Output(&m, &ytile)
+			for r := 0; r < 4; r++ {
+				oy := ty*4 + r
+				if oy >= o {
+					continue
+				}
+				for cc := 0; cc < 4; cc++ {
+					ox := tx*4 + cc
+					if ox >= o {
+						continue
+					}
+					out[oy*o+ox] = ytile[r*4+cc]
+				}
+			}
+		}
+	}
+}
+
+var wg4TilePool = newJobPool[wg4TileJob]()
+
 // Winograd4Forward computes y = x ⋆ w with F(4×4, 3×3). Shape limits
 // are the same as WinogradForward (3×3 kernels, stride 1).
 func Winograd4Forward(cfg Config, x, w, y *tensor.Tensor) {
@@ -118,61 +188,22 @@ func Winograd4Forward(cfg Config, x, w, y *tensor.Tensor) {
 		panic(err)
 	}
 	checkShapes(cfg, x, w, y)
-	b, c, i := cfg.Batch, cfg.Channels, cfg.Input
-	f, p, o := cfg.Filters, cfg.Pad, cfg.Out()
-	tiles := (o + 3) / 4
+	f, c := cfg.Filters, cfg.Channels
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	us := ws.Float32Uninit(f * c * 36)
+	fj := wg4FilterPool.Get()
+	fj.w, fj.us = w.Data, us
+	par.ForEachRunner(f*c, fj)
+	fj.w, fj.us = nil, nil
+	wg4FilterPool.Put(fj)
 
-	us := make([][36]float32, f*c)
-	par.ForEach(f*c, func(j int) {
-		winograd4Filter(w.Data[j*9:(j+1)*9], &us[j])
-	})
-
-	par.ForEach(b*f, func(job int) {
-		n, fi := job/f, job%f
-		out := y.Data[(n*f+fi)*o*o:]
-		var d, v, m [36]float32
-		var ytile [16]float32
-		for ty := 0; ty < tiles; ty++ {
-			for tx := 0; tx < tiles; tx++ {
-				for k := range m {
-					m[k] = 0
-				}
-				for ci := 0; ci < c; ci++ {
-					xChan := x.Data[(n*c+ci)*i*i:]
-					for r := 0; r < 6; r++ {
-						iy := ty*4 + r - p
-						for cc := 0; cc < 6; cc++ {
-							ix := tx*4 + cc - p
-							if iy < 0 || iy >= i || ix < 0 || ix >= i {
-								d[r*6+cc] = 0
-							} else {
-								d[r*6+cc] = xChan[iy*i+ix]
-							}
-						}
-					}
-					winograd4Input(&d, &v)
-					u := &us[fi*c+ci]
-					for k := 0; k < 36; k++ {
-						m[k] += u[k] * v[k]
-					}
-				}
-				winograd4Output(&m, &ytile)
-				for r := 0; r < 4; r++ {
-					oy := ty*4 + r
-					if oy >= o {
-						continue
-					}
-					for cc := 0; cc < 4; cc++ {
-						ox := tx*4 + cc
-						if ox >= o {
-							continue
-						}
-						out[oy*o+ox] = ytile[r*4+cc]
-					}
-				}
-			}
-		}
-	})
+	tj := wg4TilePool.Get()
+	tj.c, tj.i, tj.f, tj.p, tj.o = c, cfg.Input, f, cfg.Pad, cfg.Out()
+	tj.x, tj.us, tj.y = x.Data, us, y.Data
+	par.ForEachRunner(cfg.Batch*f, tj)
+	tj.x, tj.us, tj.y = nil, nil, nil
+	wg4TilePool.Put(tj)
 }
 
 // Winograd4Multiplies returns the elementwise multiply count of

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 )
 
 // NextPow2 returns the smallest power of two >= n (and >= 1). FFT-based
@@ -67,6 +68,25 @@ func NewPlan(n int) *Plan {
 
 // N returns the plan's transform length.
 func (p *Plan) N() int { return p.n }
+
+// planCache holds one immutable *Plan per transform size. Plans are
+// read-only after construction, so a cached plan is safe to share
+// across goroutines; under a concurrent first-use race sync.Map keeps
+// exactly one winner.
+var planCache sync.Map // int -> *Plan
+
+// PlanFor returns the shared cached plan for length n (a power of two),
+// building it on first use. Convolution engines transform thousands of
+// rows per pass at one or two sizes; caching makes the twiddle tables
+// and bit-reversal permutation a one-time cost per size instead of a
+// per-call one.
+func PlanFor(n int) *Plan {
+	if p, ok := planCache.Load(n); ok {
+		return p.(*Plan)
+	}
+	p, _ := planCache.LoadOrStore(n, NewPlan(n))
+	return p.(*Plan)
+}
 
 // Forward performs an in-place forward DFT of x (length must equal the
 // plan length) using iterative radix-2 decimation in time.

@@ -2,8 +2,10 @@ package fft
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
+
+	"gpucnn/internal/par"
+	"gpucnn/internal/workspace"
 )
 
 // Plan2D performs square 2-D transforms of size n×n by applying the 1-D
@@ -16,7 +18,21 @@ type Plan2D struct {
 
 // NewPlan2D builds a 2-D plan of size n×n (n must be a power of two).
 func NewPlan2D(n int) *Plan2D {
-	return &Plan2D{n: n, plan: NewPlan(n)}
+	return &Plan2D{n: n, plan: PlanFor(n)}
+}
+
+// plan2DCache holds one immutable *Plan2D per size, sharing the 1-D
+// plan cache underneath.
+var plan2DCache sync.Map // int -> *Plan2D
+
+// Plan2DFor returns the shared cached 2-D plan for size n×n, building
+// it on first use. Safe for concurrent use.
+func Plan2DFor(n int) *Plan2D {
+	if p, ok := plan2DCache.Load(n); ok {
+		return p.(*Plan2D)
+	}
+	p, _ := plan2DCache.LoadOrStore(n, NewPlan2D(n))
+	return p.(*Plan2D)
 }
 
 // N returns the per-axis transform size.
@@ -37,8 +53,10 @@ func (p *Plan2D) apply(x []complex64, f func(*Plan, []complex64)) {
 	for r := 0; r < n; r++ {
 		f(p.plan, x[r*n:(r+1)*n])
 	}
-	// Columns via gather/scatter through a scratch buffer.
-	col := make([]complex64, n)
+	// Columns via gather/scatter through arena scratch.
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	col := ws.Complex64Uninit(n)
 	for c := 0; c < n; c++ {
 		for r := 0; r < n; r++ {
 			col[r] = x[r*n+c]
@@ -50,24 +68,38 @@ func (p *Plan2D) apply(x []complex64, f func(*Plan, []complex64)) {
 	}
 }
 
-// ForwardReal transforms a real-valued h×w image zero-padded into an
-// n×n complex grid and returns the frequency-domain grid. This is the
-// padding step that inflates FFT-convolution memory usage: the filter
-// (k×k) and the image (i×i) are both padded to the same n×n extent.
-func (p *Plan2D) ForwardReal(img []float32, h, w int) []complex64 {
+// ForwardRealInto zero-pads a real-valued h×w image into the caller's
+// n×n complex grid and transforms it in place. Every grid element is
+// written (the pad region is cleared), so an uninitialised arena
+// carve-out is a valid destination.
+func (p *Plan2D) ForwardRealInto(img []float32, h, w int, grid []complex64) {
 	n := p.n
 	if h > n || w > n {
 		panic(fmt.Sprintf("fft: real input %dx%d exceeds plan size %d", h, w, n))
 	}
-	grid := make([]complex64, n*n)
+	if len(grid) != n*n {
+		panic(fmt.Sprintf("fft: grid length %d does not match %d×%d", len(grid), n, n))
+	}
 	for r := 0; r < h; r++ {
 		src := img[r*w : (r+1)*w]
-		dst := grid[r*n:]
+		dst := grid[r*n : (r+1)*n]
 		for c, v := range src {
 			dst[c] = complex(v, 0)
 		}
+		clear(dst[w:])
 	}
+	clear(grid[h*n:])
 	p.Forward(grid)
+}
+
+// ForwardReal transforms a real-valued h×w image zero-padded into a
+// freshly allocated n×n complex grid and returns it. This is the
+// padding step that inflates FFT-convolution memory usage: the filter
+// (k×k) and the image (i×i) are both padded to the same n×n extent.
+// Zero-allocation paths use ForwardRealInto with an arena grid instead.
+func (p *Plan2D) ForwardReal(img []float32, h, w int) []complex64 {
+	grid := make([]complex64, p.n*p.n)
+	p.ForwardRealInto(img, h, w, grid)
 	return grid
 }
 
@@ -89,40 +121,10 @@ func (p *Plan2D) InverseRealInto(grid []complex64, out []float32, h, w, offH, of
 // be an h×w real image; the result slice holds count frequency grids.
 func (p *Plan2D) BatchForwardReal(images [][]float32, h, w int) [][]complex64 {
 	out := make([][]complex64, len(images))
-	parallelFor(len(images), func(i int) {
+	par.ForEach(len(images), func(i int) {
 		out[i] = p.ForwardReal(images[i], h, w)
 	})
 	return out
-}
-
-// parallelFor runs f(i) for i in [0,n) across GOMAXPROCS goroutines.
-func parallelFor(n int, f func(int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
-	}
-	wg.Wait()
 }
 
 // FLOPs1D returns the approximate real-flop cost of one length-n

@@ -3,7 +3,6 @@ package gemm
 import (
 	"fmt"
 	"runtime"
-	"sync"
 )
 
 // CNaive computes the complex GEMM C = alpha*A*B + beta*C with A (m×k),
@@ -21,28 +20,32 @@ func CNaive(alpha complex64, a []complex64, b []complex64, beta complex64, c []c
 	}
 }
 
-// CParallel computes the complex GEMM C = alpha*A*B + beta*C with row
-// stripes of C distributed over goroutines. The FFT-based convolution
-// engines perform one small CGEMM per frequency-domain pixel; batching
-// them row-wise here mirrors how fbfft batches its Cgemm kernel.
+// CPacked computes the complex GEMM C = alpha*A*B + beta*C through the
+// planar packed kernel unconditionally (no small-size fallback); it is
+// the path property-tested against CNaive.
+func CPacked(alpha complex64, a []complex64, b []complex64, beta complex64, c []complex64, m, n, k int) {
+	checkCDims(len(a), len(b), len(c), m, n, k)
+	cscale(beta, c[:m*n])
+	cpackedGEMM(1, alpha, a, b, c, m, n, k)
+}
+
+// CParallel computes the complex GEMM C = alpha*A*B + beta*C through the
+// planar packed kernel, with mrC-row C tiles distributed over the par
+// worker pool. The FFT-based convolution engines perform one small CGEMM
+// per frequency-domain pixel; batching them row-wise here mirrors how
+// fbfft batches its Cgemm kernel.
 func CParallel(alpha complex64, a []complex64, b []complex64, beta complex64, c []complex64, m, n, k int) {
 	checkCDims(len(a), len(b), len(c), m, n, k)
-	workers := runtime.GOMAXPROCS(0)
-	if workers == 1 || m*n*k < 1<<17 || m < 2 {
+	if m*n*k < cpackThreshold {
 		CNaive(alpha, a, b, beta, c, m, n, k)
 		return
 	}
-	rowsPer := (m + workers - 1) / workers
-	var wg sync.WaitGroup
-	for i0 := 0; i0 < m; i0 += rowsPer {
-		i1 := min(i0+rowsPer, m)
-		wg.Add(1)
-		go func(i0, i1 int) {
-			defer wg.Done()
-			CNaive(alpha, a[i0*k:], b, beta, c[i0*n:], i1-i0, n, k)
-		}(i0, i1)
+	workers := 1
+	if m*n*k >= 1<<17 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	wg.Wait()
+	cscale(beta, c[:m*n])
+	cpackedGEMM(workers, alpha, a, b, c, m, n, k)
 }
 
 // CMulAccPointwise accumulates c[i] += a[i] * conj-or-plain b[i] over a

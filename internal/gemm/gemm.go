@@ -7,20 +7,22 @@
 // Three tiers are provided:
 //
 //   - Naive: the textbook triple loop, used as the correctness oracle.
-//   - Blocked: cache-blocked serial kernel.
-//   - Parallel: the blocked kernel fanned out over goroutines; this is
-//     the tier the convolution engines call.
+//   - Packed/Blocked: BLIS-style serial kernel — both operands are
+//     repacked into contiguous panels and multiplied by a register-tiled
+//     mr×nr micro-kernel (see pack.go).
+//   - Parallel: the packed kernel with C tiles fanned out over the par
+//     worker pool; this is the tier the convolution engines call.
+//
+// The legacy cache-blocked kernel is kept (unexported) both as a
+// fallback for problems too small to amortise packing and as the
+// benchmark reference the packed kernel is measured against.
 package gemm
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+import "fmt"
 
-// blockM/blockN/blockK are the cache-block extents of the serial kernel.
-// They are sized so one block of A (blockM×blockK) plus one block of B
-// (blockK×blockN) fits comfortably in L1/L2.
+// blockM/blockN/blockK are the cache-block extents of the legacy serial
+// kernel. They are sized so one block of A (blockM×blockK) plus one
+// block of B (blockK×blockN) fits comfortably in L1/L2.
 const (
 	blockM = 64
 	blockN = 64
@@ -43,11 +45,33 @@ func Naive(alpha float32, a []float32, b []float32, beta float32, c []float32, m
 	}
 }
 
-// Blocked computes C = alpha*A*B + beta*C using cache blocking. It walks
-// the k dimension in panels so each A/B panel is reused across a full
-// block of C.
+// Blocked computes C = alpha*A*B + beta*C serially. Problems large
+// enough to amortise panel packing go through the packed register-tiled
+// kernel; tiny ones use the legacy cache-blocked loop.
 func Blocked(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
 	checkDims(len(a), len(b), len(c), m, n, k)
+	if m*n*k < packThreshold {
+		blockedLegacy(alpha, a, b, beta, c, m, n, k)
+		return
+	}
+	scaleRows(beta, c, 0, m, n)
+	packedGEMM(1, alpha, a, b, c, m, n, k, false, false)
+}
+
+// Packed computes C = alpha*A*B + beta*C through the packed
+// register-tiled kernel unconditionally (no small-size fallback). It is
+// the kernel benchmarked against blockedLegacy and property-tested
+// against Naive.
+func Packed(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
+	checkDims(len(a), len(b), len(c), m, n, k)
+	scaleRows(beta, c, 0, m, n)
+	packedGEMM(1, alpha, a, b, c, m, n, k, false, false)
+}
+
+// blockedLegacy is the pre-packing cache-blocked kernel, kept as the
+// small-problem fallback and as the baseline BenchmarkBlockedGEMM
+// measures the packed kernel against.
+func blockedLegacy(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
 	scaleRows(beta, c, 0, m, n)
 	for i0 := 0; i0 < m; i0 += blockM {
 		i1 := min(i0+blockM, m)
@@ -55,9 +79,8 @@ func Blocked(alpha float32, a []float32, b []float32, beta float32, c []float32,
 	}
 }
 
-// blockedRows multiplies the row stripe [i0,i1) of A into C. It is the
-// unit of work handed to each goroutine by Parallel, so rows of C are
-// owned by exactly one worker and no synchronisation on C is needed.
+// blockedRows multiplies the row stripe [i0,i1) of A into C with the
+// legacy axpy-style inner loop.
 func blockedRows(alpha float32, a, b, c []float32, i0, i1, m, n, k int) {
 	for p0 := 0; p0 < k; p0 += blockK {
 		p1 := min(p0+blockK, k)
@@ -81,41 +104,39 @@ func blockedRows(alpha float32, a, b, c []float32, i0, i1, m, n, k int) {
 	}
 }
 
-// Parallel computes C = alpha*A*B + beta*C, splitting row stripes of C
-// across GOMAXPROCS goroutines. Small problems fall through to the
-// serial blocked kernel to avoid spawn overhead.
+// Parallel computes C = alpha*A*B + beta*C, distributing packed C tiles
+// over the par worker pool. Small problems fall through to the serial
+// kernel to avoid dispatch overhead.
 func Parallel(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
 	checkDims(len(a), len(b), len(c), m, n, k)
-	workers := runtime.GOMAXPROCS(0)
-	// Under ~2 MFLOP the goroutine fan-out costs more than it saves.
-	if workers == 1 || m*n*k < 1<<20 {
+	workers := gemmWorkers(m, n, k)
+	if workers <= 1 {
 		Blocked(alpha, a, b, beta, c, m, n, k)
 		return
 	}
 	scaleRows(beta, c, 0, m, n)
-	stripes := (m + blockM - 1) / blockM
-	if stripes > workers*4 {
-		stripes = workers * 4
-	}
-	rowsPer := (m + stripes - 1) / stripes
-	var wg sync.WaitGroup
-	for i0 := 0; i0 < m; i0 += rowsPer {
-		i1 := min(i0+rowsPer, m)
-		wg.Add(1)
-		go func(i0, i1 int) {
-			defer wg.Done()
-			blockedRows(alpha, a, b, c, i0, i1, m, n, k)
-		}(i0, i1)
-	}
-	wg.Wait()
+	packedGEMM(workers, alpha, a, b, c, m, n, k, false, false)
 }
 
 // NT computes C = alpha*A*Bᵀ + beta*C where A is m×k and B is n×k,
-// both row-major. This is the backward-filter GEMM shape.
+// both row-major. This is the backward-filter GEMM shape; B's rows
+// become packed micro-panel columns, so no transpose copy of B is ever
+// materialised.
 func NT(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
 	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
 		panic(fmt.Sprintf("gemm: NT buffer too small for m=%d n=%d k=%d", m, n, k))
 	}
+	if m*n*k < packThreshold {
+		ntLegacy(alpha, a, b, beta, c, m, n, k)
+		return
+	}
+	scaleRows(beta, c, 0, m, n)
+	packedGEMM(1, alpha, a, b, c, m, n, k, false, true)
+}
+
+// ntLegacy is the pre-packing dot-product NT kernel (small-problem
+// fallback).
+func ntLegacy(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
 	for i := 0; i < m; i++ {
 		arow := a[i*k : (i+1)*k]
 		crow := c[i*n:]
@@ -131,11 +152,22 @@ func NT(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n
 }
 
 // TN computes C = alpha*Aᵀ*B + beta*C where A is k×m and B is k×n,
-// both row-major. This is the backward-data GEMM shape.
+// both row-major. This is the backward-data GEMM shape; A's columns are
+// gathered during packing instead of in the inner loop.
 func TN(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
 	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
 		panic(fmt.Sprintf("gemm: TN buffer too small for m=%d n=%d k=%d", m, n, k))
 	}
+	if m*n*k < packThreshold {
+		tnLegacy(alpha, a, b, beta, c, m, n, k)
+		return
+	}
+	scaleRows(beta, c, 0, m, n)
+	packedGEMM(1, alpha, a, b, c, m, n, k, true, false)
+}
+
+// tnLegacy is the pre-packing axpy TN kernel (small-problem fallback).
+func tnLegacy(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
 	scaleRows(beta, c, 0, m, n)
 	for p := 0; p < k; p++ {
 		arow := a[p*m:]
@@ -153,24 +185,19 @@ func TN(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n
 	}
 }
 
-// ParallelNT is NT with row stripes of C fanned out over goroutines.
+// ParallelNT is NT with packed C tiles fanned out over the par worker
+// pool.
 func ParallelNT(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers == 1 || m*n*k < 1<<20 || m < 2 {
+	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
+		panic(fmt.Sprintf("gemm: NT buffer too small for m=%d n=%d k=%d", m, n, k))
+	}
+	workers := gemmWorkers(m, n, k)
+	if workers <= 1 {
 		NT(alpha, a, b, beta, c, m, n, k)
 		return
 	}
-	rowsPer := (m + workers - 1) / workers
-	var wg sync.WaitGroup
-	for i0 := 0; i0 < m; i0 += rowsPer {
-		i1 := min(i0+rowsPer, m)
-		wg.Add(1)
-		go func(i0, i1 int) {
-			defer wg.Done()
-			NT(alpha, a[i0*k:], b, beta, c[i0*n:], i1-i0, n, k)
-		}(i0, i1)
-	}
-	wg.Wait()
+	scaleRows(beta, c, 0, m, n)
+	packedGEMM(workers, alpha, a, b, c, m, n, k, false, true)
 }
 
 // FLOPs returns the floating-point operation count of an m×n×k GEMM

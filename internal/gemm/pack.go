@@ -1,0 +1,251 @@
+package gemm
+
+import (
+	"runtime"
+	"sync"
+
+	"gpucnn/internal/par"
+	"gpucnn/internal/workspace"
+)
+
+// BLIS-style packed kernel. The operands are repacked into contiguous
+// panels — A into row-major mr×kc panels, B into p-major kc×nr panels —
+// so the register-tiled micro-kernel streams both with unit stride and
+// the C tile's dot products accumulate in registers instead of bouncing
+// through cache lines of strided B rows. This is the data-layout half of
+// what cuBLAS/cuDNN do on the device (cuConv, arXiv:2103.16234, makes
+// the same point for convolution proper): packing and reuse, not extra
+// FLOPs, are where GEMM performance lives.
+const (
+	mr = 8 // rows per micro-tile (one packed A panel)
+	nr = 8 // columns per micro-tile (one packed B panel)
+
+	// kcBlock is the reduction-panel depth: one packed B panel
+	// (kcBlock×nr floats ≈ 8 KB) stays L1-resident across the whole A
+	// panel, and one packed A panel (mr×kcBlock ≈ 8 KB) across all B
+	// panels of the block.
+	kcBlock = 256
+
+	// ncBlock bounds the packed B block (kcBlock×ncBlock ≈ 2 MB) so it
+	// stays L2-resident while the m-loop re-streams it.
+	ncBlock = 2048
+
+	// packThreshold routes tiny problems to the legacy kernel: below it
+	// the packing traffic costs more than the register tiling saves.
+	packThreshold = 1 << 15
+)
+
+func roundUp(x, m int) int { return (x + m - 1) / m * m }
+
+// packA copies the mv×kc block of op(A) at (i0, p0) into a row-major
+// mr×kc panel, zero-padding the tail rows. With transA, A is stored k×m
+// and the logical element (i, p) is a[p*lda+i].
+func packA(dst, a []float32, lda, i0, mv, p0, kc int, transA bool) {
+	if transA {
+		for r := 0; r < mv; r++ {
+			col := i0 + r
+			row := dst[r*kc : (r+1)*kc]
+			for p := range row {
+				row[p] = a[(p0+p)*lda+col]
+			}
+		}
+	} else {
+		for r := 0; r < mv; r++ {
+			src := a[(i0+r)*lda+p0:]
+			copy(dst[r*kc:(r+1)*kc], src[:kc])
+		}
+	}
+	clear(dst[mv*kc : mr*kc])
+}
+
+// packB copies the kc×nv block of op(B) at (p0, j0) into a p-major
+// kc×nr panel (nr consecutive column values per reduction step),
+// zero-padding the tail columns. With transB, B is stored n×k and the
+// logical element (p, j) is b[j*ldb+p].
+func packB(dst, b []float32, ldb, p0, kc, j0, nv int, transB bool) {
+	if transB {
+		if nv < nr {
+			clear(dst[:kc*nr])
+		}
+		for c := 0; c < nv; c++ {
+			src := b[(j0+c)*ldb+p0:]
+			for p := 0; p < kc; p++ {
+				dst[p*nr+c] = src[p]
+			}
+		}
+		return
+	}
+	if nv == nr {
+		for p := 0; p < kc; p++ {
+			src := b[(p0+p)*ldb+j0:]
+			d := dst[p*nr : p*nr+nr : p*nr+nr]
+			d[0], d[1], d[2], d[3] = src[0], src[1], src[2], src[3]
+			d[4], d[5], d[6], d[7] = src[4], src[5], src[6], src[7]
+		}
+		return
+	}
+	for p := 0; p < kc; p++ {
+		src := b[(p0+p)*ldb+j0:]
+		d := dst[p*nr : p*nr+nr]
+		for c := 0; c < nv; c++ {
+			d[c] = src[c]
+		}
+		for c := nv; c < nr; c++ {
+			d[c] = 0
+		}
+	}
+}
+
+// microKernel multiplies one packed A panel (row-major mr×kc) with one
+// packed B panel (p-major kc×nr) and adds the alpha-scaled mv×nv valid
+// region into the C tile at ct (leading dimension ldc). Each row's nr
+// partial sums live in registers for the whole reduction — C is touched
+// exactly once per (row, panel) — and both panels stream with unit
+// stride out of L1.
+func microKernel(kc int, ap, bp, ct []float32, ldc int, alpha float32, mv, nv int) {
+	for r := 0; r < mv; r++ {
+		arow := ap[r*kc : r*kc+kc]
+		var s0, s1, s2, s3, s4, s5, s6, s7 float32
+		bi := 0
+		for _, av := range arow {
+			brow := bp[bi : bi+nr : bi+nr]
+			s0 += av * brow[0]
+			s1 += av * brow[1]
+			s2 += av * brow[2]
+			s3 += av * brow[3]
+			s4 += av * brow[4]
+			s5 += av * brow[5]
+			s6 += av * brow[6]
+			s7 += av * brow[7]
+			bi += nr
+		}
+		crow := ct[r*ldc:]
+		if nv == nr {
+			crow = crow[:nr:nr]
+			crow[0] += alpha * s0
+			crow[1] += alpha * s1
+			crow[2] += alpha * s2
+			crow[3] += alpha * s3
+			crow[4] += alpha * s4
+			crow[5] += alpha * s5
+			crow[6] += alpha * s6
+			crow[7] += alpha * s7
+		} else {
+			sums := [nr]float32{s0, s1, s2, s3, s4, s5, s6, s7}
+			for c := 0; c < nv; c++ {
+				crow[c] += alpha * sums[c]
+			}
+		}
+	}
+}
+
+// packedTileJob is the parallel work unit: one mr-row panel of C across
+// the current packed B block. It is pooled so Parallel dispatches with
+// zero allocations.
+type packedTileJob struct {
+	alpha  float32
+	a, c   []float32
+	lda    int
+	ldc    int
+	transA bool
+	m      int
+	pc, kc int
+	jc, nc int
+	bp     []float32
+}
+
+func (j *packedTileJob) Run(pi int) {
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	ap := ws.Float32Uninit(mr * j.kc)
+	i0 := pi * mr
+	mv := j.m - i0
+	if mv > mr {
+		mv = mr
+	}
+	packA(ap, j.a, j.lda, i0, mv, j.pc, j.kc, j.transA)
+	for t, jr := 0, 0; jr < j.nc; t, jr = t+1, jr+nr {
+		nv := j.nc - jr
+		if nv > nr {
+			nv = nr
+		}
+		microKernel(j.kc, ap, j.bp[t*j.kc*nr:], j.c[i0*j.ldc+j.jc+jr:], j.ldc, j.alpha, mv, nv)
+	}
+}
+
+var tileJobPool = newPool[packedTileJob]()
+
+// packedGEMM computes C += alpha·op(A)·op(B) over beta-prescaled C,
+// packing both operands and distributing mr-row C tiles over up to
+// `workers` goroutines (1 = serial). op is selected per operand:
+// transA reads A as its k×m transpose, transB reads B as its n×k
+// transpose — which is how the NT/TN entry points reuse the same
+// micro-kernel.
+func packedGEMM(workers int, alpha float32, a, b, c []float32, m, n, k int, transA, transB bool) {
+	if m == 0 || n == 0 || k == 0 || alpha == 0 {
+		return
+	}
+	lda := k
+	if transA {
+		lda = m
+	}
+	ldb := n
+	if transB {
+		ldb = k
+	}
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	ncMax := n
+	if ncMax > ncBlock {
+		ncMax = ncBlock
+	}
+	bp := ws.Float32Uninit(kcBlock * roundUp(ncMax, nr))
+	j := tileJobPool.Get()
+	j.alpha, j.a, j.c = alpha, a, c
+	j.lda, j.ldc, j.transA, j.m = lda, n, transA, m
+	panels := (m + mr - 1) / mr
+	for jc := 0; jc < n; jc += ncBlock {
+		nc := n - jc
+		if nc > ncBlock {
+			nc = ncBlock
+		}
+		for pc := 0; pc < k; pc += kcBlock {
+			kc := k - pc
+			if kc > kcBlock {
+				kc = kcBlock
+			}
+			for t, jr := 0, 0; jr < nc; t, jr = t+1, jr+nr {
+				nv := nc - jr
+				if nv > nr {
+					nv = nr
+				}
+				packB(bp[t*kc*nr:], b, ldb, pc, kc, jc+jr, nv, transB)
+			}
+			j.pc, j.kc, j.jc, j.nc, j.bp = pc, kc, jc, nc, bp
+			par.ForEachNRunner(panels, workers, j)
+		}
+	}
+	j.a, j.c, j.bp = nil, nil, nil
+	tileJobPool.Put(j)
+}
+
+// gemmWorkers picks the fan-out for a parallel entry point: GOMAXPROCS,
+// or 1 when the problem is too small to amortise dispatch.
+func gemmWorkers(m, n, k int) int {
+	if m*n*k < 1<<20 {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// jobPool is a typed sync.Pool for parallel job structs: Get/Put of a
+// *T avoids both the interface-conversion allocation of storing the
+// struct by value and the per-call make of a fresh job.
+type jobPool[T any] struct{ p sync.Pool }
+
+func newPool[T any]() *jobPool[T] {
+	return &jobPool[T]{p: sync.Pool{New: func() any { return new(T) }}}
+}
+
+func (jp *jobPool[T]) Get() *T  { return jp.p.Get().(*T) }
+func (jp *jobPool[T]) Put(t *T) { jp.p.Put(t) }

@@ -8,6 +8,13 @@
 // transfer policy. Running a plan therefore yields both a numerically
 // correct result and the simulated runtime, memory and nvprof metrics
 // the paper reports.
+//
+// The engines' numerics inherit the zero-allocation discipline of
+// internal/conv: every strategy function carves its scratch (im2col
+// column matrices, FFT grids, Winograd transform banks, GEMM packing
+// panels) from internal/workspace arenas and dispatches pooled jobs
+// through internal/par, so steady-state Forward/BackwardData/
+// BackwardFilter passes do not touch the Go heap.
 package impls
 
 import (

@@ -1,5 +1,7 @@
-// Package par provides the small work-distribution helpers shared by
-// the compute kernels: a bounded parallel for-loop over an index range.
+// Package par provides the work-distribution helpers shared by the
+// compute kernels: bounded parallel for-loops over an index range,
+// backed by a persistent worker pool so hot paths pay neither goroutine
+// spawns nor (when dispatching a pooled Runner) any heap allocation.
 package par
 
 import (
@@ -8,40 +10,131 @@ import (
 	"sync/atomic"
 )
 
-// ForEach runs f(i) for every i in [0, n), distributing indices over at
-// most GOMAXPROCS goroutines. It runs serially for tiny ranges so
-// fine-grained callers don't pay spawn overhead.
-func ForEach(n int, f func(i int)) {
-	ForEachN(n, runtime.GOMAXPROCS(0), f)
+// Runner is a unit of indexed work. Hot paths implement it on a pooled
+// struct instead of passing a closure: storing a struct pointer in the
+// dispatch task allocates nothing, while a capturing closure escapes to
+// the heap on every call.
+type Runner interface {
+	Run(i int)
 }
 
-// ForEachN is ForEach with an explicit worker bound.
+// funcRunner adapts a plain function to Runner. Func values are
+// pointer-shaped, so the interface conversion itself does not allocate
+// (the closure, if capturing, still does — use Runner directly on
+// zero-allocation paths).
+type funcRunner func(int)
+
+func (f funcRunner) Run(i int) { f(i) }
+
+// task is one ForEach invocation in flight: workers atomically claim
+// indices until the range is exhausted. Tasks are pooled and the worker
+// goroutines are persistent, so steady-state dispatch allocates nothing.
+type task struct {
+	r    Runner
+	n    int64
+	next int64
+	wg   sync.WaitGroup
+}
+
+var taskPool = sync.Pool{New: func() any { return new(task) }}
+
+var (
+	poolOnce sync.Once
+	workCh   chan *task
+)
+
+// startWorkers spins up the persistent pool: GOMAXPROCS goroutines (at
+// first use) that block on the task channel for the process lifetime.
+func startWorkers() {
+	w := runtime.GOMAXPROCS(0)
+	workCh = make(chan *task, 8*w)
+	for i := 0; i < w; i++ {
+		go func() {
+			for t := range workCh {
+				t.run()
+			}
+		}()
+	}
+}
+
+// run claims and executes indices until the task is exhausted, then
+// signals completion. Called by pool workers and by the submitter (which
+// always participates, so a ForEach issued from inside a worker makes
+// progress even when every pool worker is busy — no nesting deadlock).
+func (t *task) run() {
+	for {
+		i := atomic.AddInt64(&t.next, 1)
+		if i >= t.n {
+			break
+		}
+		t.r.Run(int(i))
+	}
+	t.wg.Done()
+}
+
+// ForEach runs f(i) for every i in [0, n), distributing indices over at
+// most GOMAXPROCS goroutines.
+func ForEach(n int, f func(i int)) {
+	forEach(n, runtime.GOMAXPROCS(0), funcRunner(f))
+}
+
+// ForEachN is ForEach with an explicit worker bound. A non-positive
+// bound is clamped to GOMAXPROCS: callers passing a miscomputed 0 used
+// to silently lose all parallelism.
 func ForEachN(n, workers int, f func(i int)) {
+	forEach(n, workers, funcRunner(f))
+}
+
+// ForEachRunner is ForEach dispatching a Runner; with a pooled Runner
+// the call is allocation-free.
+func ForEachRunner(n int, r Runner) {
+	forEach(n, runtime.GOMAXPROCS(0), r)
+}
+
+// ForEachNRunner is ForEachRunner with an explicit worker bound,
+// clamped to GOMAXPROCS when non-positive.
+func ForEachNRunner(n, workers int, r Runner) {
+	forEach(n, workers, r)
+}
+
+func forEach(n, workers int, r Runner) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			f(i)
+			r.Run(i)
 		}
 		return
 	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= n {
-					return
-				}
-				f(i)
-			}
-		}()
+	poolOnce.Do(startWorkers)
+	t := taskPool.Get().(*task)
+	t.r, t.n, t.next = r, int64(n), -1
+	helpers := workers - 1
+	t.wg.Add(helpers + 1)
+	sent := 0
+	for sent < helpers {
+		ok := false
+		select {
+		case workCh <- t:
+			ok = true
+		default:
+		}
+		if !ok {
+			break // queue full: the submitter absorbs the remaining shares
+		}
+		sent++
 	}
-	wg.Wait()
+	for i := sent; i < helpers; i++ {
+		t.wg.Done()
+	}
+	t.run()
+	t.wg.Wait()
+	t.r = nil
+	taskPool.Put(t)
 }
 
 // Chunks splits [0, n) into roughly equal [lo, hi) chunks and runs
@@ -61,17 +154,12 @@ func Chunks(n, workers int, f func(lo, hi int)) {
 		return
 	}
 	per := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += per {
+	ForEachN((n+per-1)/per, workers, func(ci int) {
+		lo := ci * per
 		hi := lo + per
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+		f(lo, hi)
+	})
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package workspace
+
+const raceEnabled = false
