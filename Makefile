@@ -4,7 +4,7 @@ tier1:
 	go build ./...
 	go test ./...
 	go vet ./...
-	go test -race ./internal/gemm ./internal/conv ./internal/par
+	go test -race ./internal/gemm ./internal/conv ./internal/par ./internal/serve
 
 # Kernel microbenchmarks: 5 repetitions of the GEMM and convolution
 # benches, summarised into BENCH_kernels.json (ns/op medians plus any
@@ -18,3 +18,12 @@ bench-kernels:
 .PHONY: bench-kernels-quick
 bench-kernels-quick:
 	go test ./internal/gemm -run '^$$' -bench 'BenchmarkBlockedGEMM' -count=3 -timeout 30m
+
+# Serving-path microbenchmarks: the dynamic batcher vs the batch=1
+# baseline (wall cost of the serving machinery plus the simulated
+# per-image GPU cost as sim_us_per_img), and the admission-control
+# rejection fast path. Summarised into BENCH_serve.json.
+.PHONY: serve-bench
+serve-bench:
+	go test ./internal/serve -run '^$$' -bench 'BenchmarkServe|BenchmarkSubmitReject' -count=5 -timeout 30m | tee bench_serve.txt
+	go run ./cmd/benchjson -in bench_serve.txt -note "serving-path benchmark snapshot (medians over -count runs)" -out BENCH_serve.json

@@ -17,6 +17,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -62,6 +63,8 @@ func median(xs []float64) float64 {
 	return (s[n/2-1] + s[n/2]) / 2
 }
 
+// parseLine parses one benchmark result line, returning the raw
+// benchmark name (GOMAXPROCS suffix intact — see normalizeNames).
 func parseLine(line string) (string, result, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
@@ -76,21 +79,77 @@ func parseLine(line string) (string, result, bool) {
 		return "", result{}, false
 	}
 	r := result{iters: iters, nsPerOp: ns, metrics: map[string]float64{}}
-	for i := 4; i+1 < len(fields); i += 2 {
+	// The tail is "value unit" pairs. A field that doesn't parse as a
+	// number advances by ONE to resynchronise — advancing by two would
+	// misalign every subsequent pair.
+	for i := 4; i+1 < len(fields); {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
+			i++
 			continue
 		}
-		r.metrics[fields[i+1]] = v
-	}
-	// Strip the trailing -N GOMAXPROCS suffix from the name.
-	name := fields[0]
-	if idx := strings.LastIndex(name, "-"); idx > 0 {
-		if _, err := strconv.Atoi(name[idx+1:]); err == nil {
-			name = name[:idx]
+		// Metrics are keyed by unit; a second metric with the same unit
+		// (two custom ns columns, say) must not silently clobber the
+		// first, so later ones get a position-qualified key.
+		key := fields[i+1]
+		for k := 2; ; k++ {
+			if _, taken := r.metrics[key]; !taken {
+				break
+			}
+			key = fmt.Sprintf("%s#%d", fields[i+1], k)
 		}
+		r.metrics[key] = v
+		i += 2
 	}
-	return name, r, true
+	return fields[0], r, true
+}
+
+// trailingInt splits a trailing "-<int>" off the name, returning the
+// base and the integer (-1 when there is none).
+func trailingInt(name string) (string, int) {
+	idx := strings.LastIndex(name, "-")
+	if idx <= 0 {
+		return name, -1
+	}
+	n, err := strconv.Atoi(name[idx+1:])
+	if err != nil || n < 0 {
+		return name, -1
+	}
+	return name[:idx], n
+}
+
+// normalizeNames strips the trailing -N GOMAXPROCS suffix — but only
+// when it provably is one. `go test` under GOMAXPROCS=1 emits no
+// suffix at all, so a name genuinely ending in -<int> (a sub-benchmark
+// like BenchmarkGEMM/size-256) must not be truncated and merged with
+// its siblings. The suffix is stripped when it equals this process's
+// GOMAXPROCS, or when every line carries the same suffix across at
+// least two distinct benchmark names (the signature of a shared
+// GOMAXPROCS, possibly from another machine).
+func normalizeNames(order []string, byName map[string][]result, gomaxprocs int) ([]string, map[string][]result) {
+	shared, allShare := -1, len(order) > 1
+	for _, name := range order {
+		_, n := trailingInt(name)
+		if n < 0 || (shared >= 0 && n != shared) {
+			allShare = false
+			break
+		}
+		shared = n
+	}
+	newOrder := make([]string, 0, len(order))
+	newByName := make(map[string][]result, len(byName))
+	for _, name := range order {
+		base, n := trailingInt(name)
+		stripped := name
+		if n >= 0 && (n == gomaxprocs || allShare) {
+			stripped = base
+		}
+		if _, seen := newByName[stripped]; !seen {
+			newOrder = append(newOrder, stripped)
+		}
+		newByName[stripped] = append(newByName[stripped], byName[name]...)
+	}
+	return newOrder, newByName
 }
 
 func main() {
@@ -134,6 +193,7 @@ func main() {
 	if err := sc.Err(); err != nil {
 		log.Fatalf("benchjson: %v", err)
 	}
+	order, byName = normalizeNames(order, byName, runtime.GOMAXPROCS(0))
 
 	for _, name := range order {
 		rs := byName[name]

@@ -1,0 +1,133 @@
+// Command serve runs the inference-serving layer over the simulated
+// cluster and renders a throughput-vs-latency table across batching
+// policies: the batch=1 baseline against dynamic batching at several
+// max-wait settings. The per-image amortisation the paper measures in
+// Figure 3a reappears here as a serving result — larger formed batches
+// buy simulated throughput at a bounded queueing-latency cost.
+//
+// Usage:
+//
+//	serve [-devices 4] [-engine cuDNN] [-clients 64] [-requests 2000]
+//	      [-maxbatch 32] [-waits 500us,2ms,8ms] [-timescale 1]
+//	      [-input 32] [-filters 32] [-kernel 5] [-metrics out.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"gpucnn/internal/conv"
+	"gpucnn/internal/gpusim"
+	"gpucnn/internal/impls"
+	"gpucnn/internal/multigpu"
+	"gpucnn/internal/serve"
+	"gpucnn/internal/telemetry"
+)
+
+func main() {
+	devices := flag.Int("devices", 4, "simulated GPUs in the cluster")
+	engine := flag.String("engine", "cuDNN", "convolution engine (must support arbitrary batch sizes)")
+	clients := flag.Int("clients", 64, "closed-loop load-generator clients")
+	requests := flag.Int("requests", 2000, "requests to complete per policy")
+	maxBatch := flag.Int("maxbatch", 32, "dynamic batcher flush size")
+	waits := flag.String("waits", "500us,2ms,8ms", "comma-separated max-wait settings for the dynamic policies")
+	queueCap := flag.Int("queue", 0, "admission queue bound (0 = 4×maxbatch)")
+	timeScale := flag.Float64("timescale", 1, "wall occupancy per simulated second (negative disables)")
+	input := flag.Int("input", 32, "model input extent (square)")
+	channels := flag.Int("channels", 3, "model input channels")
+	filters := flag.Int("filters", 32, "model output feature maps")
+	kernel := flag.Int("kernel", 5, "model kernel extent")
+	stride := flag.Int("stride", 1, "model stride")
+	pad := flag.Int("pad", 2, "model padding")
+	metrics := flag.String("metrics", "", "write per-policy registry snapshots to this JSON file")
+	flag.Parse()
+
+	eng, err := impls.ByName(*engine)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	model := conv.Config{Input: *input, Channels: *channels, Filters: *filters,
+		Kernel: *kernel, Stride: *stride, Pad: *pad}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	type policy struct {
+		name     string
+		maxBatch int
+		maxWait  time.Duration
+	}
+	policies := []policy{{"batch=1", 1, time.Millisecond}}
+	for _, w := range strings.Split(*waits, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(w))
+		if err != nil {
+			log.Fatalf("serve: bad -waits entry %q: %v", w, err)
+		}
+		policies = append(policies, policy{"dynamic", *maxBatch, d})
+	}
+
+	spec := gpusim.TeslaK40c()
+	fmt.Printf("Inference serving — dynamic batching over the simulated cluster\n")
+	perImage := model.WithDefaults()
+	perImage.Batch = 1
+	fmt.Printf("model %v · engine %s · %d× %s · %d closed-loop clients · %d requests per policy\n\n",
+		perImage, eng.Name(), *devices, spec.Name, *clients, *requests)
+	fmt.Printf("%-9s %-9s %-11s %-10s %-11s %-10s %-10s %-10s %s\n",
+		"policy", "max-wait", "mean-batch", "req/s", "sim img/s", "p50", "p99", "queue-p99", "rejected")
+
+	snapshots := map[string]telemetry.MetricsSnapshot{}
+	for _, p := range policies {
+		reg := telemetry.NewRegistry()
+		s, err := serve.New(multigpu.New(*devices, spec), serve.Options{
+			Engine:    eng,
+			Model:     model,
+			MaxBatch:  p.maxBatch,
+			MaxWait:   p.maxWait,
+			QueueCap:  *queueCap,
+			TimeScale: *timeScale,
+			Registry:  reg,
+		})
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		rep := serve.RunLoad(ctx, s, serve.LoadOptions{Clients: *clients, Requests: *requests})
+		s.Close()
+		wait := p.maxWait.String()
+		if p.maxBatch == 1 {
+			wait = "—"
+		}
+		fmt.Printf("%-9s %-9s %-11.1f %-10.0f %-11.0f %-10v %-10v %-10v %d\n",
+			p.name, wait, rep.MeanBatch, rep.ThroughputRPS, rep.SimImagesPerSec,
+			rep.P50.Round(time.Microsecond), rep.P99.Round(time.Microsecond),
+			rep.QueueP99.Round(time.Microsecond), rep.Rejected)
+		key := p.name
+		if p.maxBatch > 1 {
+			key = fmt.Sprintf("dynamic-%s", p.maxWait)
+		}
+		snapshots[key] = reg.Snapshot()
+		if ctx.Err() != nil {
+			break
+		}
+	}
+
+	fmt.Printf("\nsim img/s = served images per simulated GPU-busy second (batch amortisation, Figure 3a);\n")
+	fmt.Printf("req/s and percentiles are wall-clock under the closed loop (timescale %g).\n", *timeScale)
+
+	if *metrics != "" {
+		enc, err := json.MarshalIndent(snapshots, "", "  ")
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		if err := os.WriteFile(*metrics, append(enc, '\n'), 0o644); err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		fmt.Printf("\nwrote per-policy metrics to %s\n", *metrics)
+	}
+}

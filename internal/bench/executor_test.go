@@ -50,6 +50,8 @@ func (p *fakePlan) BackwardData(dy, w, dx *tensor.Tensor) error   { return nil }
 func (p *fakePlan) BackwardFilter(x, dy, dw *tensor.Tensor) error { return nil }
 func (p *fakePlan) Release()                                      {}
 
+func (p *fakePlan) Inference() error { return nil }
+
 func (p *fakePlan) Iteration() error {
 	if p.eng.panicIter != "" {
 		panic(p.eng.panicIter)

@@ -149,6 +149,11 @@ func (p *convnet2Plan) BackwardFilter(x, dy, dw *tensor.Tensor) error {
 	return nil
 }
 
+func (p *convnet2Plan) Inference() error {
+	transferPolicy{pinned: true, async: false}.doTransfer(p.dev, p.cfg)
+	return p.Forward(nil, nil, nil)
+}
+
 func (p *convnet2Plan) Iteration() error {
 	// The cuda-convnet2.torch wrapper stages inputs synchronously
 	// through pinned memory (1–15% of runtime in Figure 7).

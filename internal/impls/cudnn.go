@@ -179,6 +179,11 @@ func (p *cudnnPlan) BackwardFilter(x, dy, dw *tensor.Tensor) error {
 	return nil
 }
 
+func (p *cudnnPlan) Inference() error {
+	transferPolicy{pinned: true, async: true}.doTransfer(p.dev, p.cfg)
+	return p.Forward(nil, nil, nil)
+}
+
 func (p *cudnnPlan) Iteration() error {
 	// cuDNN was profiled inside Caffe, inheriting its pinned prefetch
 	// thread: transfers are hidden (≈0% in Figure 7).

@@ -60,6 +60,10 @@ type Plan interface {
 	// transfer (per the engine's transfer policy) plus forward,
 	// backward-data and backward-filter passes.
 	Iteration() error
+	// Inference simulates one forward-only serving pass: the input-batch
+	// transfer (per the engine's transfer policy) plus the forward pass.
+	// This is the unit of work an inference server dispatches per batch.
+	Inference() error
 	// Release frees the plan's device memory.
 	Release()
 }

@@ -349,6 +349,11 @@ func (p *fftPlan) BackwardFilter(x, dy, dw *tensor.Tensor) error {
 	return nil
 }
 
+func (p *fftPlan) Inference() error {
+	p.engine.p.transfer.doTransfer(p.dev, p.cfg)
+	return p.Forward(nil, nil, nil)
+}
+
 func (p *fftPlan) Iteration() error {
 	p.engine.p.transfer.doTransfer(p.dev, p.cfg)
 	if err := p.Forward(nil, nil, nil); err != nil {

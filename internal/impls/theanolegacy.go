@@ -115,6 +115,11 @@ func (p *theanoLegacyPlan) BackwardFilter(x, dy, dw *tensor.Tensor) error {
 	return nil
 }
 
+func (p *theanoLegacyPlan) Inference() error {
+	transferPolicy{pinned: false, async: false}.doTransfer(p.dev, p.cfg)
+	return p.Forward(nil, nil, nil)
+}
+
 func (p *theanoLegacyPlan) Iteration() error {
 	// Theano stages batches synchronously through pageable memory.
 	transferPolicy{pinned: false, async: false}.doTransfer(p.dev, p.cfg)

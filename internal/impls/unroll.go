@@ -237,6 +237,11 @@ func (p *unrollPlan) BackwardFilter(x, dy, dw *tensor.Tensor) error {
 	return nil
 }
 
+func (p *unrollPlan) Inference() error {
+	p.engine.p.transfer.doTransfer(p.dev, p.cfg)
+	return p.Forward(nil, nil, nil)
+}
+
 func (p *unrollPlan) Iteration() error {
 	p.engine.p.transfer.doTransfer(p.dev, p.cfg)
 	if err := p.Forward(nil, nil, nil); err != nil {

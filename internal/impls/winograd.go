@@ -130,6 +130,11 @@ func (p *winogradPlan) BackwardFilter(x, dy, dw *tensor.Tensor) error {
 	return nil
 }
 
+func (p *winogradPlan) Inference() error {
+	transferPolicy{pinned: true, async: true}.doTransfer(p.dev, p.cfg)
+	return p.Forward(nil, nil, nil)
+}
+
 func (p *winogradPlan) Iteration() error {
 	transferPolicy{pinned: true, async: true}.doTransfer(p.dev, p.cfg)
 	if err := p.Forward(nil, nil, nil); err != nil {

@@ -1,0 +1,217 @@
+package multigpu
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"gpucnn/internal/conv"
+	"gpucnn/internal/gpusim"
+	"gpucnn/internal/impls"
+	"gpucnn/internal/telemetry"
+	"gpucnn/internal/tensor"
+	"gpucnn/internal/workload"
+)
+
+// failEngine fails on a chosen replica: either Plan or Iteration
+// errors once the device-call counter reaches failAt.
+type failEngine struct {
+	mu       sync.Mutex
+	calls    int
+	failAt   int  // 0-based index of the Plan call that misbehaves
+	failPlan bool // fail in Plan; otherwise in Iteration
+}
+
+var errInjected = errors.New("injected failure")
+
+func (f *failEngine) Name() string                   { return "fail" }
+func (f *failEngine) Strategy() conv.Strategy        { return conv.Direct }
+func (f *failEngine) Supports(cfg conv.Config) error { return nil }
+
+func (f *failEngine) Plan(dev *gpusim.Device, cfg conv.Config) (impls.Plan, error) {
+	f.mu.Lock()
+	n := f.calls
+	f.calls++
+	f.mu.Unlock()
+	if n == f.failAt && f.failPlan {
+		return nil, errInjected
+	}
+	return &failPlan{cfg: cfg, dev: dev, fail: n == f.failAt}, nil
+}
+
+func (f *failEngine) PlanShared(dev *gpusim.Device, cfg conv.Config) (impls.Plan, error) {
+	return f.Plan(dev, cfg)
+}
+
+type failPlan struct {
+	cfg  conv.Config
+	dev  *gpusim.Device
+	fail bool
+}
+
+func (p *failPlan) Config() conv.Config                           { return p.cfg }
+func (p *failPlan) Forward(x, w, y *tensor.Tensor) error          { return nil }
+func (p *failPlan) BackwardData(dy, w, dx *tensor.Tensor) error   { return nil }
+func (p *failPlan) BackwardFilter(x, dy, dw *tensor.Tensor) error { return nil }
+func (p *failPlan) Inference() error                              { return nil }
+func (p *failPlan) Release()                                      {}
+
+func (p *failPlan) Iteration() error {
+	if p.fail {
+		return errInjected
+	}
+	p.dev.MustLaunch(gpusim.KernelSpec{
+		Name:  "fake_kernel",
+		Grid:  gpusim.Dim3{X: 64},
+		Block: gpusim.Dim3{X: 128},
+		FLOPs: 1e6,
+	})
+	return nil
+}
+
+// assertHygiene walks the tracer's forest checking every span ended,
+// and checks no device still carries a telemetry sink.
+func assertHygiene(t *testing.T, tr *telemetry.Tracer, c *Cluster) {
+	t.Helper()
+	for _, root := range tr.Roots() {
+		root.Walk(func(depth int, s *telemetry.Span) {
+			if !s.Ended() {
+				t.Errorf("span %q (depth %d) left un-ended after failed iteration", s.Name(), depth)
+			}
+		})
+	}
+	for i, dev := range c.Devices {
+		if dev.Sink() != nil {
+			t.Errorf("device %d still has a telemetry sink attached", i)
+		}
+	}
+}
+
+// TestFailedIterationLeavesNoDanglingTelemetry: whichever replica the
+// engine fails on — and whether it fails planning or iterating — every
+// span must be ended and every device sink detached, so a later export
+// from the same cluster is uncorrupted.
+func TestFailedIterationLeavesNoDanglingTelemetry(t *testing.T) {
+	cfg := workload.Base() // batch 64 shards across 4 devices
+	for _, failPlan := range []bool{true, false} {
+		for failAt := 0; failAt < 3; failAt++ {
+			name := fmt.Sprintf("failPlan=%v/replica=%d", failPlan, failAt)
+			tr := telemetry.NewTracer()
+			ctx := telemetry.WithTracer(context.Background(), tr)
+			c := New(4, gpusim.TeslaK40c())
+			_, err := c.IterationCtx(ctx, &failEngine{failAt: failAt, failPlan: failPlan}, cfg)
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("%s: want injected failure, got %v", name, err)
+			}
+			assertHygiene(t, tr, c)
+		}
+	}
+}
+
+// TestHealthyIterationStillTraces: the hygiene restructure must not
+// change the happy path — replica spans exist, carry events, and end.
+func TestHealthyIterationStillTraces(t *testing.T) {
+	tr := telemetry.NewTracer()
+	ctx := telemetry.WithTracer(context.Background(), tr)
+	c := New(2, gpusim.TeslaK40c())
+	cfg := workload.Base()
+	if _, err := c.IterationCtx(ctx, impls.NewCuDNN(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	roots := tr.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("want 1 root span, got %d", len(roots))
+	}
+	replicas := 0
+	for _, ch := range roots[0].Children() {
+		if ch.Name() == "replica-0" || ch.Name() == "replica-1" {
+			replicas++
+			if tot := ch.Totals(); tot.Kernels == 0 {
+				t.Errorf("%s recorded no kernel events", ch.Name())
+			}
+		}
+	}
+	if replicas != 2 {
+		t.Fatalf("want 2 replica spans, got %d", replicas)
+	}
+	assertHygiene(t, tr, c)
+}
+
+// TestPlanCacheReuseAndRelease: the same (device, config) pair must
+// yield one plan across calls; distinct configs and devices must not
+// share plans; Release must leave the cache rebuildable.
+func TestPlanCacheReuseAndRelease(t *testing.T) {
+	c := New(2, gpusim.TeslaK40c())
+	eng := &failEngine{failAt: -1}
+	pc := NewPlanCache(c, eng)
+	cfg := conv.Config{Batch: 4, Input: 16, Channels: 3, Filters: 8, Kernel: 3, Stride: 1}
+
+	var p1, p2 impls.Plan
+	if err := pc.Exec(0, cfg, func(_ *gpusim.Device, p impls.Plan) error { p1 = p; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := pc.Exec(0, cfg, func(_ *gpusim.Device, p impls.Plan) error { p2 = p; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("same device+config must reuse the cached plan")
+	}
+	if err := pc.Exec(1, cfg, func(_ *gpusim.Device, p impls.Plan) error { p2 = p; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("devices must not share plans")
+	}
+	other := cfg
+	other.Batch = 8
+	if err := pc.Exec(0, other, func(_ *gpusim.Device, p impls.Plan) error { p2 = p; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("configs must not share plans")
+	}
+	if eng.calls != 3 {
+		t.Fatalf("want 3 Plan calls, got %d", eng.calls)
+	}
+	pc.Release()
+	if err := pc.Exec(0, cfg, func(_ *gpusim.Device, p impls.Plan) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if eng.calls != 4 {
+		t.Fatalf("plan must rebuild after Release; got %d calls", eng.calls)
+	}
+}
+
+// TestExecOnSerialisesDevice: concurrent ExecOn calls on one device
+// must not interleave (the Elapsed-delta measurement pattern).
+func TestExecOnSerialisesDevice(t *testing.T) {
+	c := New(1, gpusim.TeslaK40c())
+	var inside, peak int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.ExecOn(0, func(dev *gpusim.Device) error {
+				mu.Lock()
+				inside++
+				if inside > peak {
+					peak = inside
+				}
+				mu.Unlock()
+				dev.MustLaunch(gpusim.KernelSpec{Name: "k", Grid: gpusim.Dim3{X: 1}, Block: gpusim.Dim3{X: 32}})
+				mu.Lock()
+				inside--
+				mu.Unlock()
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if peak != 1 {
+		t.Fatalf("ExecOn admitted %d concurrent users of one device", peak)
+	}
+}

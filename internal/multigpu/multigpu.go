@@ -16,6 +16,7 @@ package multigpu
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"gpucnn/internal/conv"
@@ -28,6 +29,7 @@ import (
 type Cluster struct {
 	Devices []*gpusim.Device
 	spec    gpusim.DeviceSpec
+	locks   []sync.Mutex // one per device, for ExecOn serialisation
 }
 
 // New builds a cluster of n devices with the given spec.
@@ -35,7 +37,7 @@ func New(n int, spec gpusim.DeviceSpec) *Cluster {
 	if n <= 0 {
 		panic(fmt.Sprintf("multigpu: cluster size %d", n))
 	}
-	c := &Cluster{spec: spec}
+	c := &Cluster{spec: spec, locks: make([]sync.Mutex, n)}
 	for i := 0; i < n; i++ {
 		c.Devices = append(c.Devices, gpusim.New(spec))
 	}
@@ -44,6 +46,20 @@ func New(n int, spec gpusim.DeviceSpec) *Cluster {
 
 // Size returns the device count.
 func (c *Cluster) Size() int { return len(c.Devices) }
+
+// Spec returns the device specification shared by the cluster.
+func (c *Cluster) Spec() gpusim.DeviceSpec { return c.spec }
+
+// ExecOn runs fn with exclusive access to device i. A gpusim.Device is
+// internally thread-safe, but measuring a unit of work as an
+// Elapsed()-delta (and attaching a telemetry sink around it) is not —
+// concurrent dispatchers would interleave their kernels on one clock.
+// Every concurrent user of a cluster device must go through ExecOn.
+func (c *Cluster) ExecOn(i int, fn func(dev *gpusim.Device) error) error {
+	c.locks[i].Lock()
+	defer c.locks[i].Unlock()
+	return fn(c.Devices[i])
+}
 
 // AllReduceTime models a ring all-reduce of `bytes` gradient bytes
 // across the cluster over PCIe (peer-to-peer at pinned bandwidth):
@@ -101,8 +117,12 @@ func (c *Cluster) IterationCtx(ctx context.Context, e impls.Engine, cfg conv.Con
 	span.SetAttr("impl", e.Name()).SetAttr("devices", fmt.Sprint(n))
 	defer span.End()
 
-	var slowest time.Duration
-	for i, dev := range c.Devices {
+	// runReplica executes one device's shard. The replica span is ended
+	// and the device's telemetry sink detached on every exit path —
+	// leaking either across an error corrupts later exports from the
+	// same cluster (a stale sink keeps appending foreign events to a
+	// dead span).
+	runReplica := func(i int, dev *gpusim.Device) (el time.Duration, err error) {
 		dev.ResetClock()
 		rsp := span.Child(fmt.Sprintf("replica-%d", i)).SetProc(i).
 			SetAttr("shard_batch", fmt.Sprint(shard.Batch))
@@ -111,16 +131,25 @@ func (c *Cluster) IterationCtx(ctx context.Context, e impls.Engine, cfg conv.Con
 			rec.Attach(rsp)
 			dev.SetSink(rec)
 		}
+		defer func() {
+			rsp.SetSim(0, dev.Elapsed())
+			rsp.End()
+			dev.SetSink(nil)
+		}()
 		plan, err := e.Plan(dev, shard)
 		if err != nil {
-			return Result{}, err
+			return 0, err
 		}
-		err = plan.Iteration()
-		plan.Release()
-		el := dev.Elapsed()
-		rsp.SetSim(0, el)
-		rsp.End()
-		dev.SetSink(nil)
+		defer plan.Release()
+		if err := plan.Iteration(); err != nil {
+			return 0, err
+		}
+		return dev.Elapsed(), nil
+	}
+
+	var slowest time.Duration
+	for i, dev := range c.Devices {
+		el, err := runReplica(i, dev)
 		if err != nil {
 			return Result{}, err
 		}

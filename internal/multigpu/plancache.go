@@ -1,0 +1,82 @@
+package multigpu
+
+import (
+	"sync"
+
+	"gpucnn/internal/conv"
+	"gpucnn/internal/gpusim"
+	"gpucnn/internal/impls"
+)
+
+// PlanCache is the thread-safe per-device plan path a concurrent
+// dispatcher (the inference server) needs: one engine, one plan per
+// (device, configuration), built lazily and reused across batches so
+// steady-state serving does not re-allocate device memory. Execution
+// through the cache is serialised per device via Cluster.ExecOn, so an
+// Elapsed()-delta measured inside Exec is attributable to exactly the
+// work fn issued.
+type PlanCache struct {
+	cluster *Cluster
+	engine  impls.Engine
+
+	mu    sync.Mutex
+	plans []map[conv.Config]impls.Plan // per device, keyed by config
+}
+
+// NewPlanCache creates an empty cache over the cluster's devices.
+func NewPlanCache(c *Cluster, e impls.Engine) *PlanCache {
+	return &PlanCache{
+		cluster: c,
+		engine:  e,
+		plans:   make([]map[conv.Config]impls.Plan, c.Size()),
+	}
+}
+
+// Engine returns the engine the cache plans for.
+func (pc *PlanCache) Engine() impls.Engine { return pc.engine }
+
+// plan returns the cached plan for (device i, cfg), building it on
+// first use. Plan errors (shape limits, device OOM) are not cached.
+func (pc *PlanCache) plan(i int, dev *gpusim.Device, cfg conv.Config) (impls.Plan, error) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.plans[i] == nil {
+		pc.plans[i] = make(map[conv.Config]impls.Plan)
+	}
+	if p, ok := pc.plans[i][cfg]; ok {
+		return p, nil
+	}
+	p, err := pc.engine.Plan(dev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pc.plans[i][cfg] = p
+	return p, nil
+}
+
+// Exec runs fn with exclusive access to device i and its plan for cfg.
+// Safe for concurrent use across devices; calls against the same device
+// serialise.
+func (pc *PlanCache) Exec(i int, cfg conv.Config, fn func(dev *gpusim.Device, p impls.Plan) error) error {
+	cfg = cfg.WithDefaults()
+	return pc.cluster.ExecOn(i, func(dev *gpusim.Device) error {
+		p, err := pc.plan(i, dev, cfg)
+		if err != nil {
+			return err
+		}
+		return fn(dev, p)
+	})
+}
+
+// Release frees every cached plan's device memory. The cache is
+// reusable afterwards (plans rebuild on demand).
+func (pc *PlanCache) Release() {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for i, m := range pc.plans {
+		for _, p := range m {
+			p.Release()
+		}
+		pc.plans[i] = nil
+	}
+}

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gpucnn/internal/telemetry"
+)
+
+func TestPercentile(t *testing.T) {
+	xs := []time.Duration{5, 1, 4, 2, 3} // unsorted on purpose
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 3},
+		{1, 5},
+		{0.99, 5},
+		{0.2, 1},
+	}
+	for _, c := range cases {
+		if got := percentile(xs, c.q); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty sample p50 = %v", got)
+	}
+}
+
+// TestRunLoadQuota: the request-count mode completes exactly the quota
+// and reports consistent aggregates.
+func TestRunLoadQuota(t *testing.T) {
+	s := newTestServer(t, 2, Options{MaxBatch: 8, MaxWait: time.Millisecond})
+	rep := RunLoad(context.Background(), s, LoadOptions{Clients: 16, Requests: 128})
+	if rep.Completed != 128 {
+		t.Fatalf("completed %d, want 128", rep.Completed)
+	}
+	if rep.ThroughputRPS <= 0 || rep.SimImagesPerSec <= 0 {
+		t.Fatalf("throughput not computed: %+v", rep)
+	}
+	if rep.P50 > rep.P99 || rep.P99 > rep.Max {
+		t.Fatalf("percentiles not ordered: p50=%v p99=%v max=%v", rep.P50, rep.P99, rep.Max)
+	}
+	if rep.MeanBatch < 1 || rep.MeanBatch > 8 {
+		t.Fatalf("mean batch %v outside [1,8]", rep.MeanBatch)
+	}
+}
+
+// TestRunLoadDuration: the wall-window mode stops near the deadline
+// and still drains cleanly.
+func TestRunLoadDuration(t *testing.T) {
+	s := newTestServer(t, 1, Options{MaxBatch: 8, MaxWait: 500 * time.Microsecond})
+	start := time.Now()
+	rep := RunLoad(context.Background(), s, LoadOptions{Clients: 4, Duration: 100 * time.Millisecond})
+	el := time.Since(start)
+	if rep.Completed == 0 {
+		t.Fatal("no requests completed in the window")
+	}
+	if el > 5*time.Second {
+		t.Fatalf("run overshot its window: %v", el)
+	}
+}
+
+// TestRunLoadExportsHeadlines: the headline gauges land in the
+// server's registry — the acceptance criterion's export path.
+func TestRunLoadExportsHeadlines(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := newTestServer(t, 1, Options{MaxBatch: 8, MaxWait: time.Millisecond, Registry: reg})
+	rep := RunLoad(context.Background(), s, LoadOptions{Clients: 8, Requests: 64})
+	labels := telemetry.Labels{"engine": "cuDNN"}
+	if g := reg.Gauge("serve_load_sim_images_per_second", labels).Value(); g != rep.SimImagesPerSec || g <= 0 {
+		t.Fatalf("sim img/s gauge %v, report %v", g, rep.SimImagesPerSec)
+	}
+	if g := reg.Gauge("serve_load_p99_seconds", labels).Value(); g != rep.P99.Seconds() {
+		t.Fatalf("p99 gauge %v, report %v", g, rep.P99.Seconds())
+	}
+	if g := reg.Gauge("serve_load_throughput_rps", labels).Value(); g != rep.ThroughputRPS {
+		t.Fatalf("throughput gauge %v, report %v", g, rep.ThroughputRPS)
+	}
+}

@@ -1,0 +1,335 @@
+// Package serve is the inference-serving layer over the simulated
+// cluster: single-image requests are coalesced by a dynamic batcher
+// (flush on max-batch-size or max-wait deadline, whichever comes
+// first), formed batches are dispatched to the least-loaded device of a
+// multigpu.Cluster, and admission is controlled by a bounded queue that
+// rejects with ErrOverloaded instead of building unbounded backlog.
+//
+// The economics being exploited are the paper's own: Figure 3a shows
+// per-image cost falling steeply with batch size (fixed kernel-launch
+// and transfer overheads amortise across the batch) while Figure 7
+// shows the host↔device transfer share staying near-constant — so a
+// server that waits a bounded few milliseconds to form larger batches
+// buys a multiple of simulated throughput for a bounded latency cost.
+// cmd/serve sweeps batching policies and renders exactly that
+// trade-off.
+//
+// Every request's journey is observable: an optional telemetry.Tracer
+// receives a span per batch (kernel/transfer events attached, one
+// process lane per device) with a child span per request, and the
+// telemetry.Registry carries queue-depth and in-flight gauges,
+// batch-size, queue-wait and end-to-end latency histograms, and
+// per-device busy-time counters, so p50/p99 under load fall out of the
+// standard exporters.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpucnn/internal/conv"
+	"gpucnn/internal/impls"
+	"gpucnn/internal/multigpu"
+	"gpucnn/internal/telemetry"
+)
+
+// ErrOverloaded is returned by Submit when the admission queue is full:
+// the caller should shed load or retry after backoff.
+var ErrOverloaded = errors.New("serve: server overloaded, request rejected")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Options configures a Server. Zero values take the documented
+// defaults.
+type Options struct {
+	// Engine runs the model's convolution. Default: impls.NewCuDNN()
+	// (the only paper engine without shape limits, so partial batches
+	// of any size are servable).
+	Engine impls.Engine
+	// Model is the per-image convolution configuration; Batch is
+	// overridden per formed batch. Default: a CIFAR-scale layer
+	// (1, 32, 32, 5, 1) with padding 2.
+	Model conv.Config
+	// MaxBatch is the batch size that flushes the batcher immediately.
+	// Default 32.
+	MaxBatch int
+	// MaxWait is the longest the batcher holds an admitted request to
+	// let a batch fill. Default 2ms.
+	MaxWait time.Duration
+	// QueueCap bounds the admission queue; a full queue rejects with
+	// ErrOverloaded. Default 4×MaxBatch.
+	QueueCap int
+	// DeviceQueue bounds the per-device in-flight batch queue. Default 2.
+	DeviceQueue int
+	// TimeScale converts simulated batch duration into wall occupancy:
+	// after running a batch the device worker sleeps sim×TimeScale, so
+	// closed-loop load and queueing behave as they would on hardware of
+	// that speed. Negative disables the sleep (pure simulation).
+	// Default 1.
+	TimeScale float64
+	// Registry receives the serve_* metrics. Default telemetry.Default().
+	Registry *telemetry.Registry
+	// Tracer, when set, receives one root span per server with a child
+	// span per batch and grandchild per request.
+	Tracer *telemetry.Tracer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Engine == nil {
+		o.Engine = impls.NewCuDNN()
+	}
+	if (o.Model == conv.Config{}) {
+		o.Model = conv.Config{Input: 32, Channels: 3, Filters: 32, Kernel: 5, Stride: 1, Pad: 2}
+	}
+	o.Model.Batch = 1
+	o.Model = o.Model.WithDefaults()
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 32
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 4 * o.MaxBatch
+	}
+	if o.DeviceQueue <= 0 {
+		o.DeviceQueue = 2
+	}
+	if o.TimeScale < 0 {
+		o.TimeScale = 0
+	} else if o.TimeScale == 0 {
+		o.TimeScale = 1
+	}
+	if o.Registry == nil {
+		o.Registry = telemetry.Default()
+	}
+	return o
+}
+
+// Result describes one served request.
+type Result struct {
+	BatchSize int           // size of the batch the request rode in
+	Device    int           // cluster device that ran it
+	QueueWait time.Duration // admission → execution start (wall)
+	E2E       time.Duration // admission → completion (wall)
+	BatchSim  time.Duration // simulated GPU time of the whole batch
+}
+
+// SimPerImage returns the request's share of simulated GPU time — the
+// per-image cost the batch amortised.
+func (r Result) SimPerImage() time.Duration {
+	if r.BatchSize <= 0 {
+		return 0
+	}
+	return r.BatchSim / time.Duration(r.BatchSize)
+}
+
+type reqDone struct {
+	res Result
+	err error
+}
+
+type request struct {
+	enq  time.Time
+	done chan reqDone
+}
+
+// Stats is a point-in-time counter snapshot, mainly for tests; the
+// registry carries the full metric surface.
+type Stats struct {
+	Submitted int64
+	Rejected  int64
+	Completed int64
+	Failed    int64
+	Batches   []int64 // per device
+	Images    []int64 // per device
+}
+
+// Server accepts single-image inference requests and serves them in
+// dynamically formed batches across a cluster's devices.
+type Server struct {
+	opts    Options
+	cluster *multigpu.Cluster
+	plans   *multigpu.PlanCache
+
+	mu      sync.RWMutex // guards closed and the queue send
+	closed  bool
+	started atomic.Bool
+
+	queue chan *request
+	devq  []chan *batch
+	load  []atomic.Int64 // outstanding images per device
+	wg    sync.WaitGroup
+
+	root   *telemetry.Span
+	nbatch atomic.Uint64
+
+	submitted, rejected, completed, failed atomic.Int64
+	devBatches, devImages                  []atomic.Int64
+
+	qDepth    *telemetry.Gauge
+	inflight  *telemetry.Gauge
+	hBatch    *telemetry.Histogram
+	hQueue    *telemetry.Histogram
+	hE2E      *telemetry.Histogram
+	cRequests *telemetry.Counter
+	cRejected *telemetry.Counter
+	cFailed   *telemetry.Counter
+	cImages   *telemetry.Counter
+	cBatches  *telemetry.Counter
+}
+
+// New builds a server over the cluster. Call Start before Submit.
+func New(cluster *multigpu.Cluster, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	if err := opts.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: bad model: %w", err)
+	}
+	// Batches of every size 1..MaxBatch must be servable, or deadline
+	// flushes would fail at runtime; reject shape-limited engines now.
+	for _, b := range []int{1, opts.MaxBatch} {
+		cfg := opts.Model
+		cfg.Batch = b
+		if err := opts.Engine.Supports(cfg); err != nil {
+			return nil, fmt.Errorf("serve: engine %s cannot run batch %d: %w", opts.Engine.Name(), b, err)
+		}
+	}
+	n := cluster.Size()
+	s := &Server{
+		opts:       opts,
+		cluster:    cluster,
+		plans:      multigpu.NewPlanCache(cluster, opts.Engine),
+		queue:      make(chan *request, opts.QueueCap),
+		devq:       make([]chan *batch, n),
+		load:       make([]atomic.Int64, n),
+		devBatches: make([]atomic.Int64, n),
+		devImages:  make([]atomic.Int64, n),
+	}
+	for i := range s.devq {
+		s.devq[i] = make(chan *batch, opts.DeviceQueue)
+	}
+	reg, labels := opts.Registry, telemetry.Labels{"engine": opts.Engine.Name()}
+	reg.Help("serve_queue_depth", "Requests waiting in the admission queue.")
+	reg.Help("serve_batch_size_images", "Images per dispatched batch.")
+	reg.Help("serve_queue_wait_seconds", "Admission to execution start, per request.")
+	reg.Help("serve_e2e_latency_seconds", "Admission to completion, per request.")
+	s.qDepth = reg.Gauge("serve_queue_depth", labels)
+	s.inflight = reg.Gauge("serve_outstanding_images", labels)
+	s.hBatch = reg.Histogram("serve_batch_size_images", labels, batchBuckets(opts.MaxBatch))
+	s.hQueue = reg.Histogram("serve_queue_wait_seconds", labels, nil)
+	s.hE2E = reg.Histogram("serve_e2e_latency_seconds", labels, nil)
+	s.cRequests = reg.Counter("serve_requests_total", labels)
+	s.cRejected = reg.Counter("serve_rejected_total", labels)
+	s.cFailed = reg.Counter("serve_failed_total", labels)
+	s.cImages = reg.Counter("serve_images_total", labels)
+	s.cBatches = reg.Counter("serve_batches_total", labels)
+	if opts.Tracer != nil {
+		s.root = opts.Tracer.Root("serve").
+			SetAttr("engine", opts.Engine.Name()).
+			SetAttr("devices", fmt.Sprint(n))
+	}
+	return s, nil
+}
+
+// batchBuckets covers 1..max in powers of two.
+func batchBuckets(max int) []float64 {
+	var out []float64
+	for b := 1; b < max; b *= 2 {
+		out = append(out, float64(b))
+	}
+	return append(out, float64(max))
+}
+
+// Options returns the resolved (defaulted) options.
+func (s *Server) Options() Options { return s.opts }
+
+// Cluster returns the cluster the server dispatches over.
+func (s *Server) Cluster() *multigpu.Cluster { return s.cluster }
+
+// Start launches the batcher and one worker per device. It is a no-op
+// when called twice.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	s.wg.Add(1 + len(s.devq))
+	go s.batchLoop()
+	for i := range s.devq {
+		go s.deviceLoop(i)
+	}
+}
+
+// Submit admits one single-image request and blocks until it is served,
+// the server rejects it, or ctx is cancelled. Cancellation abandons the
+// wait but not the work: an admitted request still occupies its batch
+// slot.
+func (s *Server) Submit(ctx context.Context) (Result, error) {
+	r := &request{enq: time.Now(), done: make(chan reqDone, 1)}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Result{}, ErrClosed
+	}
+	select {
+	case s.queue <- r:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.rejected.Add(1)
+		s.cRejected.Inc()
+		return Result{}, ErrOverloaded
+	}
+	s.submitted.Add(1)
+	s.cRequests.Inc()
+	s.qDepth.Set(float64(len(s.queue)))
+	select {
+	case d := <-r.done:
+		return d.res, d.err
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Close stops admission, drains every already-admitted request, waits
+// for the workers, and releases the cached device plans. Safe to call
+// twice.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	if !s.started.Load() {
+		// Never started: no batcher to drain admitted requests.
+		for r := range s.queue {
+			r.done <- reqDone{err: ErrClosed}
+		}
+	}
+	s.wg.Wait()
+	s.plans.Release()
+	s.root.End()
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Submitted: s.submitted.Load(),
+		Rejected:  s.rejected.Load(),
+		Completed: s.completed.Load(),
+		Failed:    s.failed.Load(),
+	}
+	for i := range s.devBatches {
+		st.Batches = append(st.Batches, s.devBatches[i].Load())
+		st.Images = append(st.Images, s.devImages[i].Load())
+	}
+	return st
+}

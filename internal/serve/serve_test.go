@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"gpucnn/internal/conv"
+	"gpucnn/internal/gpusim"
+	"gpucnn/internal/impls"
+	"gpucnn/internal/multigpu"
+	"gpucnn/internal/telemetry"
+)
+
+// testModel is a small CIFAR-scale layer: cheap enough that tests are
+// fast, big enough that batching amortisation is visible.
+func testModel() conv.Config {
+	return conv.Config{Input: 32, Channels: 3, Filters: 32, Kernel: 5, Stride: 1, Pad: 2}
+}
+
+func newTestServer(t *testing.T, devices int, opts Options) *Server {
+	t.Helper()
+	if (opts.Model == conv.Config{}) {
+		opts.Model = testModel()
+	}
+	if opts.Registry == nil {
+		opts.Registry = telemetry.NewRegistry()
+	}
+	s, err := New(multigpu.New(devices, gpusim.TeslaK40c()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestBatchFormsOnMaxBatch: with a deadline far away, the batch must
+// flush the moment it fills.
+func TestBatchFormsOnMaxBatch(t *testing.T) {
+	s := newTestServer(t, 1, Options{MaxBatch: 4, MaxWait: 10 * time.Second})
+	s.Start()
+	var wg sync.WaitGroup
+	results := make([]Result, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := s.Submit(context.Background())
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch never flushed: max-batch trigger broken")
+	}
+	for i, r := range results {
+		if r.BatchSize != 4 {
+			t.Errorf("request %d rode a batch of %d, want 4", i, r.BatchSize)
+		}
+	}
+}
+
+// TestBatchFlushesOnDeadline: a lone request must be served after
+// roughly MaxWait even though the batch never fills.
+func TestBatchFlushesOnDeadline(t *testing.T) {
+	const wait = 30 * time.Millisecond
+	s := newTestServer(t, 1, Options{MaxBatch: 64, MaxWait: wait})
+	s.Start()
+	start := time.Now()
+	r, err := s.Submit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	el := time.Since(start)
+	if r.BatchSize != 1 {
+		t.Fatalf("lone request rode a batch of %d", r.BatchSize)
+	}
+	if el < wait {
+		t.Fatalf("served in %v, before the %v deadline", el, wait)
+	}
+	if el > wait+2*time.Second {
+		t.Fatalf("deadline flush took %v", el)
+	}
+}
+
+// TestAdmissionControl: with no batcher running, the bounded queue
+// must accept exactly QueueCap requests and reject the next with
+// ErrOverloaded; once started, everything admitted must be served.
+func TestAdmissionControl(t *testing.T) {
+	s := newTestServer(t, 1, Options{MaxBatch: 8, MaxWait: time.Millisecond, QueueCap: 8})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 9)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Submit(ctx)
+			errs <- err
+		}()
+	}
+	// Wait until all 8 are actually queued before probing the 9th.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) < 8 {
+		if time.Now().After(deadline) {
+			t.Fatal("requests never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("9th request on a full queue: err=%v, want ErrOverloaded", err)
+	}
+	s.Start()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("admitted request failed: %v", err)
+		}
+	}
+	if st := s.Stats(); st.Rejected != 1 || st.Completed != 8 {
+		t.Fatalf("stats = %+v, want 1 rejected / 8 completed", st)
+	}
+}
+
+// TestSubmitAfterClose returns ErrClosed, and Close drains admitted
+// requests rather than abandoning them.
+func TestSubmitAfterClose(t *testing.T) {
+	s := newTestServer(t, 1, Options{MaxBatch: 4, MaxWait: time.Millisecond})
+	s.Start()
+	if _, err := s.Submit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Submit(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestLeastLoadedSpread: under sustained concurrent load every device
+// of the cluster must end up serving batches.
+func TestLeastLoadedSpread(t *testing.T) {
+	s := newTestServer(t, 4, Options{MaxBatch: 4, MaxWait: 500 * time.Microsecond})
+	rep := RunLoad(context.Background(), s, LoadOptions{Clients: 32, Requests: 256})
+	if rep.Completed != 256 {
+		t.Fatalf("completed %d of 256", rep.Completed)
+	}
+	st := s.Stats()
+	for i, b := range st.Batches {
+		if b == 0 {
+			t.Errorf("device %d served no batches: %+v", i, st)
+		}
+	}
+}
+
+// TestUnsupportedEngineRejectedUpFront: an engine with shape limits
+// that would fail a deadline flush (batch 1) must be rejected by New.
+func TestUnsupportedEngineRejectedUpFront(t *testing.T) {
+	c := multigpu.New(1, gpusim.TeslaK40c())
+	_, err := New(c, Options{
+		Engine: shapeLimitedEngine{},
+		Model:  testModel(),
+	})
+	if err == nil {
+		t.Fatal("engine that cannot serve batch=1 must be rejected")
+	}
+}
+
+// TestTelemetry: spans exist per batch with kernel events attached and
+// all ended; registry carries the serving metric surface.
+func TestTelemetry(t *testing.T) {
+	tr := telemetry.NewTracer()
+	reg := telemetry.NewRegistry()
+	s := newTestServer(t, 2, Options{
+		MaxBatch: 4, MaxWait: time.Millisecond,
+		Tracer: tr, Registry: reg,
+	})
+	rep := RunLoad(context.Background(), s, LoadOptions{Clients: 8, Requests: 64})
+	if rep.Completed != 64 {
+		t.Fatalf("completed %d of 64", rep.Completed)
+	}
+	s.Close()
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name() != "serve" {
+		t.Fatalf("want one 'serve' root span, got %d", len(roots))
+	}
+	batches := roots[0].Children()
+	if len(batches) == 0 {
+		t.Fatal("no batch spans recorded")
+	}
+	reqSpans := 0
+	for _, b := range batches {
+		if tot := b.Totals(); tot.Kernels == 0 || tot.Transfers == 0 {
+			t.Errorf("batch span %q missing device events: %+v", b.Name(), tot)
+		}
+		for _, c := range b.Children() {
+			if c.Name() == "request" {
+				reqSpans++
+			}
+		}
+	}
+	if reqSpans != 64 {
+		t.Errorf("want 64 request spans across batches, got %d", reqSpans)
+	}
+	roots[0].Walk(func(_ int, sp *telemetry.Span) {
+		if !sp.Ended() {
+			t.Errorf("span %q left un-ended", sp.Name())
+		}
+	})
+
+	for i, dev := range s.Cluster().Devices {
+		if dev.Sink() != nil {
+			t.Errorf("device %d sink still attached after close", i)
+		}
+	}
+
+	if v := reg.Counter("serve_images_total", telemetry.Labels{"engine": "cuDNN"}).Value(); v != 64 {
+		t.Errorf("serve_images_total = %v, want 64", v)
+	}
+	if h := reg.Histogram("serve_e2e_latency_seconds", telemetry.Labels{"engine": "cuDNN"}, nil); h.Count() != 64 {
+		t.Errorf("e2e histogram count = %d, want 64", h.Count())
+	}
+	busy := 0.0
+	for i := 0; i < 2; i++ {
+		busy += reg.Counter("serve_device_busy_seconds_total",
+			telemetry.Labels{"engine": "cuDNN", "device": []string{"0", "1"}[i]}).Value()
+	}
+	if busy <= 0 {
+		t.Error("no simulated busy time accumulated")
+	}
+}
+
+// TestDynamicBatchingBeatsBatchOne is the acceptance check: on the
+// same cluster and model, dynamic batching must deliver a multiple of
+// the batch=1 baseline's simulated throughput while its p99 queue wait
+// stays bounded by the max-wait knob (plus generous scheduler slack).
+func TestDynamicBatchingBeatsBatchOne(t *testing.T) {
+	run := func(maxBatch int, maxWait time.Duration) Report {
+		reg := telemetry.NewRegistry()
+		s := newTestServer(t, 2, Options{
+			MaxBatch: maxBatch, MaxWait: maxWait, Registry: reg,
+		})
+		defer s.Close()
+		return RunLoad(context.Background(), s, LoadOptions{Clients: 64, Requests: 512})
+	}
+	base := run(1, time.Millisecond)
+	dyn := run(32, 2*time.Millisecond)
+	if base.Completed != 512 || dyn.Completed != 512 {
+		t.Fatalf("incomplete runs: base %d, dyn %d", base.Completed, dyn.Completed)
+	}
+	if dyn.MeanBatch < 2 {
+		t.Fatalf("dynamic batcher never batched: mean batch %.1f", dyn.MeanBatch)
+	}
+	if dyn.SimImagesPerSec < 1.5*base.SimImagesPerSec {
+		t.Fatalf("dynamic batching %.0f sim img/s does not beat batch=1 %.0f sim img/s",
+			dyn.SimImagesPerSec, base.SimImagesPerSec)
+	}
+	// Bounded latency: p99 queue wait within max-wait plus service and
+	// a generous scheduling margin.
+	if limit := 2*time.Millisecond + 500*time.Millisecond; dyn.QueueP99 > limit {
+		t.Fatalf("dynamic p99 queue wait %v exceeds bound %v", dyn.QueueP99, limit)
+	}
+}
+
+// shapeLimitedEngine rejects batch sizes below 32 (the cuda-convnet2
+// style constraint that makes deadline flushes unservable).
+type shapeLimitedEngine struct{}
+
+func (shapeLimitedEngine) Name() string            { return "limited" }
+func (shapeLimitedEngine) Strategy() conv.Strategy { return conv.Direct }
+func (shapeLimitedEngine) Supports(cfg conv.Config) error {
+	if cfg.Batch%32 != 0 {
+		return errors.New("batch must be a multiple of 32")
+	}
+	return nil
+}
+func (shapeLimitedEngine) Plan(dev *gpusim.Device, cfg conv.Config) (impls.Plan, error) {
+	return nil, errors.New("unused")
+}
+func (shapeLimitedEngine) PlanShared(dev *gpusim.Device, cfg conv.Config) (impls.Plan, error) {
+	return nil, errors.New("unused")
+}

@@ -234,6 +234,17 @@ func (s *Span) End() {
 	s.mu.Unlock()
 }
 
+// Ended reports whether End has been called. Nil spans report true:
+// there is nothing left to close.
+func (s *Span) Ended() bool {
+	if s == nil {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ended
+}
+
 // AddEvent attaches a leaf device event. Thread-safe.
 func (s *Span) AddEvent(e Event) {
 	if s == nil {
