@@ -1,10 +1,18 @@
 # Tier-1 gate: everything a PR must keep green.
 .PHONY: tier1
-tier1:
+tier1: lint
 	go build ./...
 	go test ./...
-	go vet ./...
 	go test -race ./internal/gemm ./internal/conv ./internal/par ./internal/serve
+
+# Static analysis: the stock vet suite plus this repo's analyzers
+# (spanend, arenaput, errcmp, ctxbg, rawgo — see internal/analysis).
+# cmd/lint re-execs itself as go vet's -vettool, so one invocation
+# runs everything.
+.PHONY: lint
+lint:
+	go vet ./...
+	go run ./cmd/lint ./...
 
 # Kernel microbenchmarks: 5 repetitions of the GEMM and convolution
 # benches, summarised into BENCH_kernels.json (ns/op medians plus any

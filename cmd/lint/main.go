@@ -1,0 +1,65 @@
+// Command lint drives the repo's custom analyzer suite (spanend,
+// arenaput, errcmp, ctxbg, rawgo — see internal/analysis) over Go
+// packages.
+//
+// It speaks the go vet -vettool protocol (unitchecker), so the go
+// command handles package loading, export data and facts — the same
+// modular architecture as vet itself, which is what lets the driver
+// work without network access or go/packages. For convenience it also
+// accepts package patterns directly:
+//
+//	go run ./cmd/lint ./...
+//
+// re-execs itself as `go vet -vettool=<self> ./...`. The exit status
+// is non-zero when any analyzer reports a diagnostic, which is what
+// makes `make lint` a real gate.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"gpucnn/internal/analysis"
+)
+
+func main() {
+	if vetProtocol(os.Args[1:]) {
+		unitchecker.Main(analysis.All()...) // does not return
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(1)
+	}
+	args := append([]string{"vet", "-vettool=" + exe}, os.Args[1:]...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintln(os.Stderr, "lint:", err)
+		os.Exit(1)
+	}
+}
+
+// vetProtocol reports whether the arguments look like the build
+// system's unitchecker invocation (-V=full, -flags, help, or a *.cfg
+// unit description) rather than user-supplied package patterns.
+func vetProtocol(args []string) bool {
+	if len(args) == 0 {
+		return true // let unitchecker print its usage
+	}
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cfg") || strings.HasPrefix(a, "-V") ||
+			a == "-flags" || a == "help" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLintFailsOnBrokenPackage is the end-to-end smoke test: build the
+// lint driver, point go vet's -vettool at it, and run it over a
+// fixture module with deliberate violations. The run must exit
+// non-zero and name the offending analyzers — proof the unitchecker
+// wiring, not just the analyzer logic, works.
+func TestLintFailsOnBrokenPackage(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+
+	bin := filepath.Join(t.TempDir(), "lint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building lint driver: %v\n%s", err, out)
+	}
+
+	broken, err := filepath.Abs(filepath.Join("testdata", "broken"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = broken
+	vet.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on the broken fixture exited 0; output:\n%s", out)
+	}
+	for _, want := range []string{
+		"sentinel error ErrBad compared with ==; use errors.Is",
+		"naked go statement in library code bypasses panic isolation; spawn through par.Go",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("lint output missing %q; got:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+// Package broken deliberately violates the lint suite; the cmd/lint
+// smoke test asserts the driver exits non-zero on it.
+package broken
+
+import "errors"
+
+var ErrBad = errors.New("bad")
+
+// IsBad compares a sentinel with == (errcmp violation).
+func IsBad(err error) bool {
+	return err == ErrBad
+}
+
+// Spawn launches a naked goroutine in library code (rawgo violation).
+func Spawn(f func()) {
+	go f()
+}

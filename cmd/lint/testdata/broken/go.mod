@@ -1,0 +1,3 @@
+module broken.example
+
+go 1.22

@@ -1,3 +1,12 @@
 module gpucnn
 
 go 1.22
+
+// golang.org/x/tools is vendored under third_party/ from the Go
+// toolchain's own cmd/vendor tree (the exact analysis framework vet is
+// built on) because this environment has no module proxy access. The
+// version below matches the toolchain's pinned revision; the replace
+// directive makes the build fully hermetic.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

@@ -1,0 +1,35 @@
+// Package analysis aggregates the repo's custom go/analysis lint suite
+// — the invariants two rounds of measurement-corruption bugfixes (PR 2
+// panic isolation, PR 4 span/sink hygiene) taught us to enforce by
+// machine rather than by reviewer:
+//
+//	spanend   every Tracer.Root/Span.Child reaches End on all paths
+//	arenaput  every workspace.Get is paired with workspace.Put
+//	errcmp    sentinel errors are tested with errors.Is, never == / !=
+//	ctxbg     no context.Background() where a ctx parameter is in scope
+//	rawgo     no naked goroutines in library packages (use par.Go)
+//
+// cmd/lint drives the suite through go vet; see README "Static
+// analysis" for running and suppressing.
+package analysis
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"gpucnn/internal/analysis/arenaput"
+	"gpucnn/internal/analysis/ctxbg"
+	"gpucnn/internal/analysis/errcmp"
+	"gpucnn/internal/analysis/rawgo"
+	"gpucnn/internal/analysis/spanend"
+)
+
+// All returns the full suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		spanend.Analyzer,
+		arenaput.Analyzer,
+		errcmp.Analyzer,
+		ctxbg.Analyzer,
+		rawgo.Analyzer,
+	}
+}

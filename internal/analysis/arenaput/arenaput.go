@@ -1,0 +1,56 @@
+// Package arenaput defines an Analyzer that checks that every arena
+// checked out with workspace.Get is returned with workspace.Put on all
+// control-flow paths (defer preferred), or handed to an owner.
+//
+// A leaked arena is not a crash: the sync.Pool just allocates a fresh
+// slab next time. It is a silent performance bug — the zero-allocation
+// guarantees of the conv/gemm hot paths (TestUnrollZeroAllocTableI)
+// quietly degrade into steady-state garbage, which skews exactly the
+// memory-bound measurements the paper's Figures 4–6 rest on.
+package arenaput
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+
+	"gpucnn/internal/analysis/lintutil"
+	"gpucnn/internal/analysis/paircheck"
+)
+
+const doc = `check that workspace.Get arenas reach workspace.Put on all paths
+
+Every arena from workspace.Get() must be released with
+workspace.Put(ws) — "defer workspace.Put(ws)" immediately after the
+Get is the house idiom — on every path, or escape to an owner.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "arenaput",
+	Doc:      doc,
+	Run:      run,
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+}
+
+var spec = paircheck.Spec{
+	Analyzer: "arenaput",
+	NewCall:  newArenaCall,
+	Hint:     "workspace.Put (defer preferred)",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	return paircheck.Run(pass, spec)
+}
+
+// newArenaCall matches the package-level workspace.Get().
+func newArenaCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := lintutil.FuncCallee(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Get" || fn.Pkg() == nil {
+		return "", false
+	}
+	if !lintutil.PathIs(fn.Pkg().Path(), "workspace") {
+		return "", false
+	}
+	return "arena from workspace.Get()", true
+}

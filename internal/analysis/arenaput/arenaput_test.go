@@ -1,0 +1,12 @@
+package arenaput_test
+
+import (
+	"testing"
+
+	"gpucnn/internal/analysis/arenaput"
+	"gpucnn/internal/analysis/atest"
+)
+
+func TestArenaPut(t *testing.T) {
+	atest.Run(t, atest.TestData(t), arenaput.Analyzer, "a")
+}

@@ -1,0 +1,99 @@
+// Package a holds the positive arenaput findings and the suppression /
+// false-positive guard cases.
+package a
+
+import "workspace"
+
+// --- positive findings -------------------------------------------------
+
+func leakOnEarlyReturn(fail bool) int {
+	ws := workspace.Get() // want `arena from workspace\.Get\(\) assigned to ws does not reach workspace\.Put`
+	buf := ws.Float32(16)
+	if fail {
+		return len(buf) // want `this return may be reached without releasing ws`
+	}
+	workspace.Put(ws)
+	return 0
+}
+
+func leakDespiteReset() {
+	ws := workspace.Get() // want `arena from workspace\.Get\(\) assigned to ws does not reach workspace\.Put`
+	ws.Reset()
+	return // want `this return may be reached without releasing ws`
+}
+
+func discarded() {
+	workspace.Get() // want `result of arena from workspace\.Get\(\) is discarded`
+}
+
+func blanked() {
+	_ = workspace.Get() // want `assigned to the blank identifier`
+}
+
+func carvedInline() []float32 {
+	return workspace.Get().Float32(8) // want `result of arena from workspace\.Get\(\) is consumed by \.Float32`
+}
+
+// --- suppressed by defer ----------------------------------------------
+
+func deferPut(fail bool) int {
+	ws := workspace.Get()
+	defer workspace.Put(ws)
+	if fail {
+		return 1
+	}
+	return len(ws.Float32(4))
+}
+
+func putOnAllPaths(fail bool) int {
+	ws := workspace.Get()
+	if fail {
+		workspace.Put(ws)
+		return 1
+	}
+	workspace.Put(ws)
+	return 0
+}
+
+func deferClosure() {
+	ws := workspace.Get()
+	defer func() {
+		ws.Reset()
+		workspace.Put(ws)
+	}()
+	_ = ws.Float32Uninit(4)
+}
+
+// --- false-positive guards: ownership transfer ------------------------
+
+type cache struct{ ws *workspace.Arena }
+
+// Stored in a struct: the owner puts it back later.
+func storeInStruct(c *cache) {
+	c.ws = workspace.Get()
+}
+
+// Returned to the caller, directly and via a variable.
+func checkout() *workspace.Arena {
+	return workspace.Get()
+}
+
+func checkoutVar(warm bool) *workspace.Arena {
+	ws := workspace.Get()
+	if warm {
+		ws.Reset()
+	}
+	return ws
+}
+
+// Handed to another function, which owns the release.
+func runOn(ws *workspace.Arena) {}
+
+func passAlong() {
+	runOn(workspace.Get())
+}
+
+func passAlongVar() {
+	ws := workspace.Get()
+	runOn(ws)
+}

@@ -1,0 +1,13 @@
+// Package workspace is a stub of gpucnn/internal/workspace for the
+// arenaput fixtures: the analyzer matches by import-path base, so this
+// GOPATH-style stand-in exercises it exactly.
+package workspace
+
+type Arena struct{}
+
+func Get() *Arena  { return &Arena{} }
+func Put(a *Arena) {}
+
+func (a *Arena) Reset()                        {}
+func (a *Arena) Float32(n int) []float32       { return make([]float32, n) }
+func (a *Arena) Float32Uninit(n int) []float32 { return make([]float32, n) }

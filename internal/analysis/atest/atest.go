@@ -1,0 +1,266 @@
+// Package atest is this repo's analysistest: it runs a single analyzer
+// (plus its Requires graph) over a GOPATH-style fixture tree and
+// checks the diagnostics against // want "regexp" comments, exactly
+// the golden-test convention of golang.org/x/tools/go/analysis.
+//
+// The real analysistest depends on go/packages, which the offline
+// vendored x/tools subset (lifted from the Go toolchain's cmd/vendor
+// tree) does not carry; this harness instead typechecks fixtures with
+// the stdlib source importer in GOPATH mode. Fixtures therefore import
+// their dependencies by bare path ("telemetry", "workspace") from
+// stub packages placed next to them under testdata/src — which is also
+// why the analyzers match packages by import-path base rather than by
+// full module path.
+package atest
+
+import (
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// TestData returns the absolute path of the package's testdata dir.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run loads each package (by its import path under testdata/src), runs
+// the analyzer over it, and checks diagnostics against want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	// GOPATH mode makes go/build resolve fixture imports from
+	// testdata/src and stdlib from GOROOT source, with no module proxy
+	// or export data needed.
+	t.Setenv("GO111MODULE", "off")
+	ctxt := build.Default
+	ctxt.GOPATH = testdata
+	ctxt.Dir = ""
+	prev := build.Default
+	build.Default = ctxt
+	defer func() { build.Default = prev }()
+
+	for _, path := range pkgpaths {
+		t.Run(path, func(t *testing.T) {
+			runOne(t, testdata, a, path)
+		})
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, path string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(path))
+	fset := token.NewFileSet()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		names = append(names, name)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		FileVersions: map[*ast.File]string{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { t.Errorf("fixture typecheck: %v", err) },
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking %s: %v", path, err)
+	}
+
+	var diags []analysis.Diagnostic
+	runDAG(t, a, fset, files, pkg, info, &diags)
+	checkWants(t, fset, files, names, diags)
+}
+
+// runDAG runs the analyzer's Requires closure in dependency order and
+// collects the root analyzer's diagnostics.
+func runDAG(t *testing.T, root *analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, diags *[]analysis.Diagnostic) {
+	t.Helper()
+	results := map[*analysis.Analyzer]any{}
+	var run func(a *analysis.Analyzer)
+	run = func(a *analysis.Analyzer) {
+		if _, done := results[a]; done {
+			return
+		}
+		resultOf := map[*analysis.Analyzer]any{}
+		for _, req := range a.Requires {
+			run(req)
+			resultOf[req] = results[req]
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", build.Default.GOARCH),
+			ResultOf:   resultOf,
+			Report: func(d analysis.Diagnostic) {
+				if a == root {
+					*diags = append(*diags, d)
+				}
+			},
+			ReadFile: os.ReadFile,
+			// The harness analyzes one package with no dependencies'
+			// facts; ctrlflow degrades gracefully to intraprocedural
+			// noReturn knowledge.
+			ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+			ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+			ExportObjectFact:  func(types.Object, analysis.Fact) {},
+			ExportPackageFact: func(analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("analyzer %s: %v", a.Name, err)
+		}
+		results[a] = res
+	}
+	run(root)
+}
+
+// expectation is one // want "regexp" on a fixture line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, names []string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				for _, raw := range splitQuoted(t, tf.Name(), m[1]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", tf.Name(), raw, err)
+					}
+					wants = append(wants, &expectation{
+						file: tf.Name(), line: tf.Line(c.Pos()), re: re, raw: raw,
+					})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool { return wants[i].line < wants[j].line })
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitQuoted parses the payload of a want comment: a sequence of
+// space-separated "double-quoted" or `backquoted` regexps.
+func splitQuoted(t *testing.T, file, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s: unterminated want string: %s", file, s)
+			}
+			uq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want string %s: %v", file, s[:end+1], err)
+			}
+			out = append(out, uq)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want backquote: %s", file, s)
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("%s: malformed want payload: %s", file, s)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no patterns", file)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package ctxbg_test
+
+import (
+	"testing"
+
+	"gpucnn/internal/analysis/atest"
+	"gpucnn/internal/analysis/ctxbg"
+)
+
+func TestCtxBg(t *testing.T) {
+	atest.Run(t, atest.TestData(t), ctxbg.Analyzer, "a")
+}

@@ -1,0 +1,53 @@
+// Package a holds the positive ctxbg findings and the guard cases.
+package a
+
+import "context"
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// --- positive findings -------------------------------------------------
+
+func severs(ctx context.Context) error {
+	return work(context.Background()) // want `context\.Background\(\) called with context\.Context parameter "ctx" in scope; thread ctx instead`
+}
+
+func seversTODO(ctx context.Context) error {
+	return work(context.TODO()) // want `context\.TODO\(\) called with context\.Context parameter "ctx" in scope; thread ctx instead`
+}
+
+func seversInClosure(ctx context.Context) func() error {
+	return func() error {
+		return work(context.Background()) // want `context\.Background\(\) called with context\.Context parameter "ctx" in scope; thread ctx instead`
+	}
+}
+
+// --- guards ------------------------------------------------------------
+
+// A context-free compatibility wrapper may mint a root context.
+func wrapper() error {
+	return work(context.Background())
+}
+
+// A blank context parameter signals "deliberately unused".
+func blankParam(_ context.Context) error {
+	return work(context.Background())
+}
+
+// Threading the parameter is of course fine.
+func threads(ctx context.Context) error {
+	return work(ctx)
+}
+
+// A closure with its own ctx parameter shadows nothing; using a fresh
+// root inside a context-free function stays allowed even when the
+// closure is the thing calling Background.
+func closureNoCtx() func() error {
+	return func() error {
+		return work(context.Background())
+	}
+}
+
+func suppressed(ctx context.Context) error {
+	//lint:ignore ctxbg detached audit span must outlive the request
+	return work(context.Background())
+}

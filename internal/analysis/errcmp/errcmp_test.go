@@ -1,0 +1,12 @@
+package errcmp_test
+
+import (
+	"testing"
+
+	"gpucnn/internal/analysis/atest"
+	"gpucnn/internal/analysis/errcmp"
+)
+
+func TestErrCmp(t *testing.T) {
+	atest.Run(t, atest.TestData(t), errcmp.Analyzer, "a")
+}

@@ -1,0 +1,63 @@
+// Package a holds the positive errcmp findings and the guard cases.
+package a
+
+import (
+	"errors"
+
+	"sentinels"
+)
+
+var ErrBoom = errors.New("boom")
+var errInternal = errors.New("internal")
+
+// --- positive findings -------------------------------------------------
+
+func eqLocal(err error) bool {
+	return err == ErrBoom // want `sentinel error ErrBoom compared with ==; use errors\.Is`
+}
+
+func neqImported(err error) bool {
+	return err != sentinels.ErrRemote // want `sentinel error ErrRemote compared with !=; use errors\.Is`
+}
+
+func eqUnexported(err error) bool {
+	return errInternal == err // want `sentinel error errInternal compared with ==; use errors\.Is`
+}
+
+func switchCase(err error) int {
+	switch err {
+	case ErrBoom: // want `sentinel error ErrBoom used as a switch case; use errors\.Is`
+		return 1
+	case sentinels.ErrRemote: // want `sentinel error ErrRemote used as a switch case; use errors\.Is`
+		return 2
+	}
+	return 0
+}
+
+// --- guards ------------------------------------------------------------
+
+func nilChecks(err error) bool {
+	return err == nil || nil != err // nil comparisons are fine
+}
+
+func errorsIs(err error) bool {
+	return errors.Is(err, ErrBoom) || errors.Is(err, sentinels.ErrRemote)
+}
+
+func notAnError() bool {
+	return sentinels.ErrCount == 0 // Err-named, but not an error value
+}
+
+func localShadow(err error) bool {
+	ErrShadow := errors.New("local")
+	return err == ErrShadow // function-local, not a package sentinel
+}
+
+func twoPlainErrors(a, b error) bool {
+	return a == b // neither side is a sentinel
+}
+
+func suppressed(err error) bool {
+	//lint:ignore errcmp identity is intentional here: the sentinel is never wrapped
+	return err == ErrBoom
+}

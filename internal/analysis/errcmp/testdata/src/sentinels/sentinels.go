@@ -1,0 +1,10 @@
+// Package sentinels stands in for a library package exporting sentinel
+// errors (the shape of gpucnn/internal/serve's ErrOverloaded/ErrClosed).
+package sentinels
+
+import "errors"
+
+var ErrRemote = errors.New("remote failed")
+
+// Count is error-adjacent by name only — not an error value.
+var ErrCount = 0

@@ -1,0 +1,138 @@
+// Package lintutil holds the small helpers shared by the repo's custom
+// analyzers: package-path matching that works both for the real module
+// layout ("gpucnn/internal/telemetry") and the flat GOPATH layout of
+// analyzer test fixtures ("telemetry"), test-file detection, and the
+// //lint:ignore suppression directive.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// PathIs reports whether the import path's final segment equals base.
+// Analyzers match packages by base name so the same check fires on
+// "gpucnn/internal/telemetry" in the live tree and on the "telemetry"
+// stub inside an analyzer's testdata GOPATH.
+func PathIs(path, base string) bool {
+	return path == base || strings.HasSuffix(path, "/"+base)
+}
+
+// IsNamed reports whether t (after pointer peeling) is the named type
+// pkgBase.name.
+func IsNamed(t types.Type, pkgBase, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && PathIs(obj.Pkg().Path(), pkgBase)
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	f := fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// MethodCallee returns the method a call invokes (nil for non-method
+// calls, conversions, and builtins).
+func MethodCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Type().(*types.Signature).Recv() == nil {
+		return nil
+	}
+	return fn
+}
+
+// FuncCallee returns the package-level function a call invokes (nil for
+// methods, conversions, builtins and indirect calls).
+func FuncCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok || fn.Type().(*types.Signature).Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// Ignored reports whether a diagnostic from the named analyzer at pos
+// is suppressed by a directive of the form
+//
+//	//lint:ignore name1[,name2...] reason
+//
+// placed on the same line or the line immediately above. The reason is
+// mandatory; "all" matches every analyzer.
+func Ignored(pass *analysis.Pass, pos token.Pos, name string) bool {
+	tf := pass.Fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	line := tf.Line(pos)
+	for _, f := range pass.Files {
+		if pass.Fset.File(f.Pos()) != tf {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				cl := tf.Line(c.Pos())
+				if cl != line && cl != line-1 {
+					continue
+				}
+				for _, n := range names {
+					if n == name || n == "all" {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// parseIgnore extracts the analyzer names from a //lint:ignore
+// directive. Directives without a reason are rejected so suppressions
+// stay self-documenting.
+func parseIgnore(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, "//lint:ignore ")
+	if !ok {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 { // names + at least one word of reason
+		return nil, false
+	}
+	return strings.Split(fields[0], ","), true
+}
+
+// Report emits d unless an ignore directive for the named analyzer
+// covers its position.
+func Report(pass *analysis.Pass, name string, d analysis.Diagnostic) {
+	if Ignored(pass, d.Pos, name) {
+		return
+	}
+	pass.Report(d)
+}

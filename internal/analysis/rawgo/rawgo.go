@@ -1,0 +1,52 @@
+// Package rawgo defines an Analyzer that forbids naked `go` statements
+// in library packages: a panic in an unsupervised goroutine takes down
+// the whole process, which is why the PR 2 sweep executor grew
+// per-cell panic isolation in the first place. Library code must spawn
+// through par.Go (last-resort recovery, panic accounting) or a
+// supervised loop; the one legitimate primitive spawn in package par
+// carries a //lint:ignore rawgo directive.
+//
+// Package main and _test.go files are exempt: a cmd tool or a test
+// crashing on panic is the behaviour you want.
+package rawgo
+
+import (
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"go/ast"
+
+	"gpucnn/internal/analysis/lintutil"
+)
+
+const doc = `check that library goroutines are spawned through par.Go
+
+A naked go statement in a library package bypasses panic isolation:
+one panicking goroutine crashes the whole process. Spawn through
+par.Go, or suppress with //lint:ignore rawgo <reason> where the naked
+spawn IS the supervised primitive.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "rawgo",
+	Doc:      doc,
+	Run:      run,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		if lintutil.IsTestFile(pass.Fset, n.Pos()) {
+			return
+		}
+		lintutil.Report(pass, "rawgo", analysis.Diagnostic{
+			Pos: n.Pos(), End: n.End(),
+			Message: "naked go statement in library code bypasses panic isolation; spawn through par.Go (or //lint:ignore rawgo <reason>)",
+		})
+	})
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package rawgo_test
+
+import (
+	"testing"
+
+	"gpucnn/internal/analysis/atest"
+	"gpucnn/internal/analysis/rawgo"
+)
+
+func TestRawGo(t *testing.T) {
+	atest.Run(t, atest.TestData(t), rawgo.Analyzer, "a", "mainpkg")
+}

@@ -1,0 +1,32 @@
+// Package a holds the positive rawgo findings and the guard cases.
+package a
+
+import "sync"
+
+// --- positive findings -------------------------------------------------
+
+func spawn(f func()) {
+	go f() // want `naked go statement in library code bypasses panic isolation; spawn through par\.Go`
+}
+
+func spawnClosure(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want `naked go statement in library code bypasses panic isolation; spawn through par\.Go`
+		defer wg.Done()
+	}()
+}
+
+// --- guards ------------------------------------------------------------
+
+func suppressed(f func()) {
+	//lint:ignore rawgo this goroutine is the supervisor itself
+	go f()
+}
+
+func suppressedSameLine(f func()) {
+	go f() //lint:ignore rawgo crash-on-panic is the desired failure mode here
+}
+
+func noGoroutines(f func()) {
+	f()
+}

@@ -1,0 +1,6 @@
+// Test files are exempt: helpers and harnesses may spawn directly.
+package a
+
+func spawnInTest(f func()) {
+	go f()
+}

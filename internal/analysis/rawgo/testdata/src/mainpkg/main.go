@@ -1,0 +1,9 @@
+// Package main is exempt: top-of-process code owns its own crash
+// semantics, and a panic should take the binary down loudly.
+package main
+
+func main() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

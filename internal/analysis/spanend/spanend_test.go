@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"gpucnn/internal/analysis/atest"
+	"gpucnn/internal/analysis/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	atest.Run(t, atest.TestData(t), spanend.Analyzer, "a")
+}

@@ -1,0 +1,137 @@
+// Package a holds the positive spanend findings and the suppression /
+// false-positive guard cases.
+package a
+
+import "telemetry"
+
+// --- positive findings -------------------------------------------------
+
+func leakOnEarlyReturn(t *telemetry.Tracer, fail bool) int {
+	sp := t.Root("work") // want `span "work" assigned to sp does not reach \.End`
+	if fail {
+		return 1 // want `this return may be reached without releasing sp`
+	}
+	sp.End()
+	return 0
+}
+
+func leakDespiteSetAttr(t *telemetry.Tracer, fail bool) int {
+	sp := t.Root("attr") // want `span "attr" assigned to sp does not reach \.End`
+	sp.SetAttr("k", "v")
+	if fail {
+		return 1 // want `this return may be reached without releasing sp`
+	}
+	sp.End()
+	return 0
+}
+
+func leakFluentChain(t *telemetry.Tracer) { // never ended at all
+	sp := t.Root("chain").SetAttr("k", "v") // want `span "chain" assigned to sp does not reach \.End`
+	_ = sp.Ended()
+	return // want `this return may be reached without releasing sp`
+}
+
+func discarded(t *telemetry.Tracer) {
+	t.Root("dropped") // want `span "dropped" is discarded`
+}
+
+func discardedChild(sp *telemetry.Span) {
+	sp.Child("kid").SetAttr("k", "v") // want `span "kid" is discarded`
+}
+
+func blanked(t *telemetry.Tracer) {
+	_ = t.Root("blank") // want `span "blank" is assigned to the blank identifier`
+}
+
+func consumedWithoutEnd(t *telemetry.Tracer) bool {
+	return t.Root("probe").Ended() // want `result of span "probe" is consumed by \.Ended`
+}
+
+func innerChildLeaks(t *telemetry.Tracer) {
+	t.Root("outer").Child("inner").End() // want `result of span "outer" is consumed by \.Child`
+}
+
+// --- suppressed by defer ----------------------------------------------
+
+func deferEnd(t *telemetry.Tracer, fail bool) int {
+	sp := t.Root("ok")
+	defer sp.End()
+	if fail {
+		return 1
+	}
+	return 0
+}
+
+func deferEndIfOpen(t *telemetry.Tracer, fail bool) int {
+	sp := t.Root("guarded")
+	defer sp.EndIfOpen()
+	if fail {
+		return 1
+	}
+	sp.End()
+	return 0
+}
+
+func deferClosure(t *telemetry.Tracer, fail bool) int {
+	sp := t.Root("closure")
+	defer func() {
+		sp.SetSim(0, 1)
+		sp.End()
+	}()
+	if fail {
+		return 1
+	}
+	return 0
+}
+
+func endedOnBothBranches(t *telemetry.Tracer, fail bool) int {
+	sp := t.Root("branches")
+	if fail {
+		sp.End()
+		return 1
+	}
+	sp.End()
+	return 0
+}
+
+func inlineChainEnd(t *telemetry.Tracer) {
+	t.Root("inline").SetAttr("k", "v").End()
+}
+
+// --- false-positive guards: ownership transfer ------------------------
+
+type holder struct{ sp *telemetry.Span }
+
+// Stored in a struct: the owner ends it later.
+func storeInStruct(t *telemetry.Tracer, h *holder) {
+	h.sp = t.Root("owned")
+}
+
+func storeInLiteral(t *telemetry.Tracer) holder {
+	return holder{sp: t.Root("lit")}
+}
+
+// Returned to the caller, directly and via a variable.
+func openSpan(t *telemetry.Tracer) *telemetry.Span {
+	return t.Root("returned")
+}
+
+func openSpanVar(t *telemetry.Tracer, fail bool) *telemetry.Span {
+	sp := t.Root("returned-var")
+	if fail {
+		return sp
+	}
+	return sp
+}
+
+// Handed to another function.
+func register(sp *telemetry.Span) {}
+
+func passAlong(t *telemetry.Tracer) {
+	register(t.Root("passed"))
+}
+
+func passAlongVar(t *telemetry.Tracer) {
+	sp := t.Root("passed-var")
+	register(sp)
+}

@@ -1,0 +1,19 @@
+// Package telemetry is a stub of gpucnn/internal/telemetry for the
+// spanend fixtures: the analyzer matches by import-path base and
+// method shape, so this GOPATH-style stand-in exercises it exactly.
+package telemetry
+
+type Tracer struct{}
+
+func (t *Tracer) Root(name string) *Span { return &Span{} }
+
+type Span struct{ ended bool }
+
+func (s *Span) Child(name string) *Span    { return &Span{} }
+func (s *Span) SetAttr(k, v string) *Span  { return s }
+func (s *Span) SetProc(p int) *Span        { return s }
+func (s *Span) SetSim(a, b int64) *Span    { return s }
+func (s *Span) End()                       { s.ended = true }
+func (s *Span) EndIfOpen() bool            { return !s.ended }
+func (s *Span) Ended() bool                { return s.ended }
+func (s *Span) AddEventCount(n int) *Tracer { return nil }

@@ -12,6 +12,7 @@ import (
 	"gpucnn/internal/conv"
 	"gpucnn/internal/gpusim"
 	"gpucnn/internal/impls"
+	"gpucnn/internal/par"
 	"gpucnn/internal/telemetry"
 )
 
@@ -113,7 +114,7 @@ func runIndexed(ctx context.Context, n int, opt Options, job func(ctx context.Co
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		par.Go(fmt.Sprintf("bench.executor-%d", w), func() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
@@ -131,7 +132,7 @@ func runIndexed(ctx context.Context, n int, opt Options, job func(ctx context.Co
 				}()
 				busy[w] += time.Since(t0)
 			}
-		}(w)
+		})
 	}
 	wg.Wait()
 	if reg := telemetry.RegistryFromContext(ctx); reg != nil {

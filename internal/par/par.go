@@ -2,13 +2,70 @@
 // compute kernels: bounded parallel for-loops over an index range,
 // backed by a persistent worker pool so hot paths pay neither goroutine
 // spawns nor (when dispatching a pooled Runner) any heap allocation.
+// It also owns Go, the supervised goroutine spawn that library code
+// must use instead of a naked go statement (enforced by the rawgo
+// analyzer in internal/analysis).
 package par
 
 import (
+	"fmt"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// goPanics counts panics recovered by Go-spawned goroutines; lastPanic
+// keeps the most recent one for tests and postmortems.
+var (
+	goPanics  atomic.Int64
+	lastPanic atomic.Pointer[PanicInfo]
+)
+
+// PanicInfo describes a panic recovered in a supervised goroutine.
+type PanicInfo struct {
+	Name  string // the name passed to Go
+	Value string // fmt.Sprint of the recovered value
+	Stack string // stack at recovery
+}
+
+// Go spawns f in a supervised goroutine. A panic in f is recovered,
+// counted, recorded (LastGoPanic) and written to stderr instead of
+// killing the process — the library-side counterpart of the per-cell
+// panic isolation the sweep executor already has. The name labels the
+// goroutine in the panic report; keep it stable and descriptive
+// ("serve.batchLoop", "bench.executor-3").
+//
+// Deferred cleanups inside f still run during unwinding before the
+// recovery here, so WaitGroup.Done / channel-close shutdown protocols
+// keep working even when f panics.
+func Go(name string, f func()) {
+	//lint:ignore rawgo Go is the supervised spawn primitive itself
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				goPanics.Add(1)
+				lastPanic.Store(&PanicInfo{Name: name, Value: fmt.Sprint(r), Stack: string(debug.Stack())})
+				fmt.Fprintf(os.Stderr, "par: recovered panic in goroutine %q: %v\n", name, r)
+			}
+		}()
+		f()
+	}()
+}
+
+// GoPanics returns the number of panics recovered in Go-spawned
+// goroutines since process start.
+func GoPanics() int64 { return goPanics.Load() }
+
+// LastGoPanic returns the most recently recovered panic, if any.
+func LastGoPanic() (PanicInfo, bool) {
+	p := lastPanic.Load()
+	if p == nil {
+		return PanicInfo{}, false
+	}
+	return *p, true
+}
 
 // Runner is a unit of indexed work. Hot paths implement it on a pooled
 // struct instead of passing a closure: storing a struct pointer in the
@@ -49,6 +106,10 @@ func startWorkers() {
 	w := runtime.GOMAXPROCS(0)
 	workCh = make(chan *task, 8*w)
 	for i := 0; i < w; i++ {
+		// A panicking kernel Runner must fail fast: recovering here
+		// would leave the task's WaitGroup undone and convert the crash
+		// into a silent ForEach deadlock.
+		//lint:ignore rawgo pool workers deliberately fail fast on kernel panics
 		go func() {
 			for t := range workCh {
 				t.run()

@@ -100,6 +100,10 @@ func (s *Server) runBatch(i int, b *batch) {
 		SetProc(i).
 		SetAttr("device", fmt.Sprint(i)).
 		SetAttr("size", fmt.Sprint(len(b.reqs)))
+	// Guard every exit — including a panicking engine — so a failed
+	// batch can never leak an open span into the trace (the PR 4 bug
+	// class); the explicit End below stays the precise close.
+	defer bsp.EndIfOpen()
 
 	var sim time.Duration
 	err := s.plans.Exec(i, cfg, func(dev *gpusim.Device, p impls.Plan) error {

@@ -3,11 +3,13 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gpucnn/internal/par"
 	"gpucnn/internal/telemetry"
 )
 
@@ -91,7 +93,7 @@ func RunLoad(ctx context.Context, s *Server, opts LoadOptions) Report {
 	var wg sync.WaitGroup
 	for c := 0; c < opts.Clients; c++ {
 		wg.Add(1)
-		go func() {
+		par.Go(fmt.Sprintf("serve.loadgen-%d", c), func() {
 			defer wg.Done()
 			for ctx.Err() == nil {
 				if opts.Requests > 0 && remaining.Add(-1) < 0 {
@@ -121,7 +123,7 @@ func RunLoad(ctx context.Context, s *Server, opts LoadOptions) Report {
 					failed.Add(1)
 				}
 			}
-		}()
+		})
 	}
 	wg.Wait()
 	wall := time.Since(start)

@@ -34,6 +34,7 @@ import (
 	"gpucnn/internal/conv"
 	"gpucnn/internal/impls"
 	"gpucnn/internal/multigpu"
+	"gpucnn/internal/par"
 	"gpucnn/internal/telemetry"
 )
 
@@ -258,9 +259,9 @@ func (s *Server) Start() {
 		return
 	}
 	s.wg.Add(1 + len(s.devq))
-	go s.batchLoop()
+	par.Go("serve.batchLoop", s.batchLoop)
 	for i := range s.devq {
-		go s.deviceLoop(i)
+		par.Go(fmt.Sprintf("serve.device-%d", i), func() { s.deviceLoop(i) })
 	}
 }
 

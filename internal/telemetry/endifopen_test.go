@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEndIfOpen pins the guard idiom's contract: exactly one end call
+// wins, EndIfOpen reports whether it was the one, and End is now sugar
+// for it.
+func TestEndIfOpen(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Root("guarded")
+	if sp.Ended() {
+		t.Fatal("fresh span reports Ended")
+	}
+	if !sp.EndIfOpen() {
+		t.Fatal("first EndIfOpen did not close the span")
+	}
+	if !sp.Ended() {
+		t.Fatal("span not ended after EndIfOpen")
+	}
+	if sp.EndIfOpen() {
+		t.Fatal("second EndIfOpen claimed to close an ended span")
+	}
+}
+
+// TestEndIfOpenAfterEnd checks the deferred-guard ordering: an explicit
+// End on the success path wins, and the deferred EndIfOpen is a no-op
+// that does not overwrite the captured duration.
+func TestEndIfOpenAfterEnd(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Root("batch")
+	sp.End()
+	dur := sp.WallDuration()
+	time.Sleep(2 * time.Millisecond)
+	if sp.EndIfOpen() {
+		t.Fatal("EndIfOpen re-closed a span End had already closed")
+	}
+	if got := sp.WallDuration(); got != dur {
+		t.Fatalf("EndIfOpen overwrote wall duration: %v -> %v", dur, got)
+	}
+}
+
+// TestEndIfOpenNil: nil-safety matches the rest of the Span API.
+func TestEndIfOpenNil(t *testing.T) {
+	var sp *Span
+	if sp.EndIfOpen() {
+		t.Fatal("nil span claimed to close")
+	}
+	if !sp.Ended() {
+		t.Fatal("nil span should report Ended")
+	}
+}
+
+// TestEndIfOpenGuardIdiom runs the documented house pattern through a
+// panicking body and asserts the span still closes — the exact leak the
+// spanend analyzer exists to prevent.
+func TestEndIfOpenGuardIdiom(t *testing.T) {
+	tr := NewTracer()
+	func() {
+		defer func() { _ = recover() }()
+		sp := tr.Root("doomed")
+		defer sp.EndIfOpen()
+		panic("engine exploded")
+	}()
+	roots := tr.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	if !roots[0].Ended() {
+		t.Fatal("panic path leaked an open span despite deferred EndIfOpen")
+	}
+}

@@ -218,20 +218,36 @@ func (s *Span) SetSim(start, end time.Duration) *Span {
 
 // End closes the span, capturing wall duration and the simulated clock.
 // Ending twice is harmless (first end wins).
-func (s *Span) End() {
+func (s *Span) End() { s.EndIfOpen() }
+
+// EndIfOpen is End with the idempotence made explicit: it closes the
+// span only if no End has reached it yet and reports whether this call
+// closed it. The house idiom for multi-exit code is
+//
+//	sp := tracer.Root("batch")
+//	defer sp.EndIfOpen() // every early return and panic path is covered
+//	...
+//	sp.End()             // precise close on the success path
+//
+// First end wins, so the deferred guard never overwrites the timings
+// captured by an earlier explicit End. The spanend analyzer accepts a
+// deferred EndIfOpen as proof the span cannot leak.
+func (s *Span) EndIfOpen() bool {
 	if s == nil {
-		return
+		return false
 	}
 	sim, ok := s.tracer.simNow()
 	s.mu.Lock()
-	if !s.ended {
-		s.ended = true
-		s.wallDur = time.Since(s.wallStart)
-		if ok && sim > s.simEnd {
-			s.simEnd = sim
-		}
+	defer s.mu.Unlock()
+	if s.ended {
+		return false
 	}
-	s.mu.Unlock()
+	s.ended = true
+	s.wallDur = time.Since(s.wallStart)
+	if ok && sim > s.simEnd {
+		s.simEnd = sim
+	}
+	return true
 }
 
 // Ended reports whether End has been called. Nil spans report true:
