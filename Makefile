@@ -3,10 +3,11 @@
 tier1: lint
 	go build ./...
 	go test ./...
-	go test -race ./internal/gemm ./internal/conv ./internal/par ./internal/serve
+	go test -race ./internal/gemm ./internal/conv ./internal/par ./internal/serve ./internal/obs ./internal/telemetry
 
 # Static analysis: the stock vet suite plus this repo's analyzers
-# (spanend, arenaput, errcmp, ctxbg, rawgo — see internal/analysis).
+# (spanend, arenaput, errcmp, ctxbg, rawgo, obsstop — see
+# internal/analysis).
 # cmd/lint re-execs itself as go vet's -vettool, so one invocation
 # runs everything.
 .PHONY: lint

@@ -1,5 +1,5 @@
 // Command lint drives the repo's custom analyzer suite (spanend,
-// arenaput, errcmp, ctxbg, rawgo — see internal/analysis) over Go
+// arenaput, errcmp, ctxbg, rawgo, obsstop — see internal/analysis) over Go
 // packages.
 //
 // It speaks the go vet -vettool protocol (unitchecker), so the go

@@ -5,28 +5,42 @@
 // Figure 3a reappears here as a serving result — larger formed batches
 // buy simulated throughput at a bounded queueing-latency cost.
 //
+// With -dash the process also serves the live observability plane:
+// rolling-window latency/queue metrics, SLO burn-rate states and
+// profile attributions at /debug/dash (text) and /debug/dash.json,
+// plus the current policy's /metrics. Point cmd/obswatch at it, or
+// curl it mid-run. -linger keeps the dashboard up after the table so
+// the final minute of history stays inspectable.
+//
 // Usage:
 //
 //	serve [-devices 4] [-engine cuDNN] [-clients 64] [-requests 2000]
 //	      [-maxbatch 32] [-waits 500us,2ms,8ms] [-timescale 1]
 //	      [-input 32] [-filters 32] [-kernel 5] [-metrics out.json]
+//	      [-dash :8080] [-linger] [-profiles dir]
+//	      [-slo-p99 10ms] [-slo-target 0.99] [-slo-shedmax 0.05]
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"gpucnn/internal/conv"
 	"gpucnn/internal/gpusim"
 	"gpucnn/internal/impls"
 	"gpucnn/internal/multigpu"
+	"gpucnn/internal/obs"
+	"gpucnn/internal/par"
 	"gpucnn/internal/serve"
 	"gpucnn/internal/telemetry"
 )
@@ -47,6 +61,12 @@ func main() {
 	stride := flag.Int("stride", 1, "model stride")
 	pad := flag.Int("pad", 2, "model padding")
 	metrics := flag.String("metrics", "", "write per-policy registry snapshots to this JSON file")
+	dashAddr := flag.String("dash", "", "serve the live dashboard (/debug/dash, /debug/dash.json, /metrics) on this address")
+	linger := flag.Bool("linger", false, "with -dash: keep the dashboard up after the table (ctrl-C to exit)")
+	profDir := flag.String("profiles", "", "with -dash: periodically write CPU/heap profiles to this directory")
+	sloP99 := flag.Duration("slo-p99", 10*time.Millisecond, "SLO objective: e2e p99 latency threshold")
+	sloTarget := flag.Float64("slo-target", 0.99, "SLO objective: fraction of requests that must land under -slo-p99")
+	sloShed := flag.Float64("slo-shedmax", 0.05, "SLO objective: maximum tolerated shed (rejection) rate")
 	flag.Parse()
 
 	eng, err := impls.ByName(*engine)
@@ -58,6 +78,51 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// One plane across every policy: the dashboard's rolling windows
+	// span the whole run, so policy-to-policy shifts in p99 and shed
+	// rate show up as live series rather than separate snapshots.
+	plane := obs.NewPlane(obs.Options{})
+	slo := serve.SLOConfig{
+		E2EThreshold: sloP99.Seconds(),
+		E2ETarget:    *sloTarget,
+		ShedMax:      *sloShed,
+	}
+
+	// The Prometheus registry stays per-policy (the -metrics file keys
+	// snapshots by policy), so the HTTP /metrics routes read whichever
+	// registry the current policy is writing through.
+	var liveReg atomic.Pointer[telemetry.Registry]
+	if *dashAddr != "" {
+		mux := http.NewServeMux()
+		obs.Mount(mux, plane)
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if reg := liveReg.Load(); reg != nil {
+				_ = reg.WritePrometheus(w)
+			}
+		})
+		mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if reg := liveReg.Load(); reg != nil {
+				_ = reg.WriteJSON(w)
+			}
+		})
+		srv := &http.Server{Addr: *dashAddr, Handler: mux}
+		par.Go("serve.dash", func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("serve: dashboard: %v", err)
+			}
+		})
+		fmt.Printf("dashboard: http://%s/debug/dash\n", *dashAddr)
+
+		if *profDir != "" {
+			prof := obs.NewProfiler(obs.ProfilerConfig{Plane: plane, Dir: *profDir})
+			prof.Start()
+			defer prof.Stop()
+			plane.AttachProfiler(prof)
+		}
+	}
 
 	type policy struct {
 		name     string
@@ -79,12 +144,13 @@ func main() {
 	perImage.Batch = 1
 	fmt.Printf("model %v · engine %s · %d× %s · %d closed-loop clients · %d requests per policy\n\n",
 		perImage, eng.Name(), *devices, spec.Name, *clients, *requests)
-	fmt.Printf("%-9s %-9s %-11s %-10s %-11s %-10s %-10s %-10s %s\n",
-		"policy", "max-wait", "mean-batch", "req/s", "sim img/s", "p50", "p99", "queue-p99", "rejected")
+	fmt.Printf("%-9s %-9s %-11s %-10s %-11s %-10s %-10s %-10s %-9s %s\n",
+		"policy", "max-wait", "mean-batch", "req/s", "sim img/s", "p50", "p99", "queue-p99", "shed", "slo")
 
 	snapshots := map[string]telemetry.MetricsSnapshot{}
 	for _, p := range policies {
 		reg := telemetry.NewRegistry()
+		liveReg.Store(reg)
 		s, err := serve.New(multigpu.New(*devices, spec), serve.Options{
 			Engine:    eng,
 			Model:     model,
@@ -93,20 +159,25 @@ func main() {
 			QueueCap:  *queueCap,
 			TimeScale: *timeScale,
 			Registry:  reg,
+			Obs:       plane,
+			SLO:       slo,
 		})
 		if err != nil {
 			log.Fatalf("serve: %v", err)
 		}
 		rep := serve.RunLoad(ctx, s, serve.LoadOptions{Clients: *clients, Requests: *requests})
+		stats := s.Stats()
+		sloState := worstState(s.Monitor())
 		s.Close()
 		wait := p.maxWait.String()
 		if p.maxBatch == 1 {
 			wait = "—"
 		}
-		fmt.Printf("%-9s %-9s %-11.1f %-10.0f %-11.0f %-10v %-10v %-10v %d\n",
+		fmt.Printf("%-9s %-9s %-11.1f %-10.0f %-11.0f %-10v %-10v %-10v %-9s %s\n",
 			p.name, wait, rep.MeanBatch, rep.ThroughputRPS, rep.SimImagesPerSec,
 			rep.P50.Round(time.Microsecond), rep.P99.Round(time.Microsecond),
-			rep.QueueP99.Round(time.Microsecond), rep.Rejected)
+			rep.QueueP99.Round(time.Microsecond),
+			shedColumn(stats), sloState)
 		key := p.name
 		if p.maxBatch > 1 {
 			key = fmt.Sprintf("dynamic-%s", p.maxWait)
@@ -118,7 +189,8 @@ func main() {
 	}
 
 	fmt.Printf("\nsim img/s = served images per simulated GPU-busy second (batch amortisation, Figure 3a);\n")
-	fmt.Printf("req/s and percentiles are wall-clock under the closed loop (timescale %g).\n", *timeScale)
+	fmt.Printf("req/s and percentiles are wall-clock under the closed loop (timescale %g);\n", *timeScale)
+	fmt.Printf("shed = rejected/offered under the bounded admission queue; slo = worst burn-rate state at close.\n")
 
 	if *metrics != "" {
 		enc, err := json.MarshalIndent(snapshots, "", "  ")
@@ -130,4 +202,34 @@ func main() {
 		}
 		fmt.Printf("\nwrote per-policy metrics to %s\n", *metrics)
 	}
+
+	if *dashAddr != "" && *linger && ctx.Err() == nil {
+		fmt.Printf("\ndashboard still live at http://%s/debug/dash — ctrl-C to exit\n", *dashAddr)
+		<-ctx.Done()
+	}
+}
+
+// shedColumn renders the shed rate over everything the policy was
+// offered (admitted plus rejected).
+func shedColumn(st serve.Stats) string {
+	offered := st.Submitted + st.Rejected
+	if offered == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(st.Rejected)/float64(offered))
+}
+
+// worstState reports the monitor's worst objective state at the end of
+// a policy run.
+func worstState(m *obs.Monitor) string {
+	if m == nil {
+		return "—"
+	}
+	worst := obs.OK
+	for _, o := range m.Status() {
+		if st := m.State(o.Name); st > worst {
+			worst = st
+		}
+	}
+	return worst.String()
 }

@@ -10,10 +10,16 @@
 //
 //	tracedump [-model alexnet] [-impl cuDNN] [-b 128] [-iters 1]
 //	          [-trace trace.json] [-metrics metrics.prom] [-json metrics.json]
-//	          [-http :8080]
+//	          [-since 30ms] [-last 25ms] [-http :8080]
+//
+// -since and -last window the trace by simulated time: -since keeps
+// everything from that point on, -last keeps the run's tail, and both
+// together keep the slice [since, since+last). Spans overlapping the
+// window are kept whole.
 //
 // With -http the process keeps running after the dump, serving
-// /metrics (Prometheus), /metrics.json and /trace.
+// /metrics (Prometheus), /metrics.json and /trace (always the full
+// trace; the window applies to the file dump).
 package main
 
 import (
@@ -87,6 +93,8 @@ func main() {
 	b := flag.Int("b", 128, "mini-batch size")
 	iters := flag.Int("iters", 1, "training iterations to simulate")
 	traceOut := flag.String("trace", "trace.json", "Chrome trace output ('-' for stdout, '' to skip)")
+	since := flag.Duration("since", 0, "keep trace events from this simulated time on")
+	last := flag.Duration("last", 0, "keep only the last span of simulated time (with -since: the window [since, since+last))")
 	metricsOut := flag.String("metrics", "metrics.prom", "Prometheus metrics output ('-' for stdout, '' to skip)")
 	jsonOut := flag.String("json", "", "JSON metrics output ('-' for stdout, '' to skip)")
 	httpAddr := flag.String("http", "", "serve /metrics and /trace on this address after the run")
@@ -121,7 +129,10 @@ func main() {
 
 	telemetry.CollectDevice(reg, dev, telemetry.Labels{"device": "k40c"})
 
-	if err := writeTo(*traceOut, tracer.WriteChrome); err != nil {
+	from, until := traceWindow(*since, *last, dev.Elapsed())
+	if err := writeTo(*traceOut, func(w io.Writer) error {
+		return tracer.WriteChromeWindow(w, from, until)
+	}); err != nil {
 		log.Fatal(err)
 	}
 	if err := writeTo(*metricsOut, reg.WritePrometheus); err != nil {

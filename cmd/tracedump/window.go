@@ -1,0 +1,33 @@
+package main
+
+import (
+	"time"
+
+	"gpucnn/internal/telemetry"
+)
+
+// traceWindow maps the -since/-last flags onto the half-open
+// simulated-time window handed to telemetry.WriteChromeWindow:
+//
+//	-since only  → [since, ∞)              everything from a point on
+//	-last only   → [end−last, ∞)           the tail of the run
+//	both         → [since, since+last)     a fixed slice
+//	neither      → [0, ∞)                  the whole trace
+//
+// end is the run's final simulated timestamp (device clock at dump
+// time); a -last longer than the run clamps to its start.
+func traceWindow(since, last, end time.Duration) (from, until time.Duration) {
+	switch {
+	case since > 0 && last > 0:
+		return since, since + last
+	case since > 0:
+		return since, telemetry.MaxSimTime
+	case last > 0:
+		from = end - last
+		if from < 0 {
+			from = 0
+		}
+		return from, telemetry.MaxSimTime
+	}
+	return 0, telemetry.MaxSimTime
+}

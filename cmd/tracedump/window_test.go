@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"gpucnn/internal/telemetry"
+)
+
+func TestTraceWindow(t *testing.T) {
+	const end = 100 * time.Millisecond
+	cases := []struct {
+		name        string
+		since, last time.Duration
+		from, until time.Duration
+	}{
+		{"neither", 0, 0, 0, telemetry.MaxSimTime},
+		{"since-only", 30 * time.Millisecond, 0, 30 * time.Millisecond, telemetry.MaxSimTime},
+		{"last-only", 0, 25 * time.Millisecond, 75 * time.Millisecond, telemetry.MaxSimTime},
+		{"last-exceeds-run", 0, time.Second, 0, telemetry.MaxSimTime},
+		{"both", 30 * time.Millisecond, 25 * time.Millisecond, 30 * time.Millisecond, 55 * time.Millisecond},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			from, until := traceWindow(c.since, c.last, end)
+			if from != c.from || until != c.until {
+				t.Errorf("traceWindow(%v, %v, %v) = [%v, %v), want [%v, %v)",
+					c.since, c.last, end, from, until, c.from, c.until)
+			}
+		})
+	}
+}

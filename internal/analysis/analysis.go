@@ -8,6 +8,7 @@
 //	errcmp    sentinel errors are tested with errors.Is, never == / !=
 //	ctxbg     no context.Background() where a ctx parameter is in scope
 //	rawgo     no naked goroutines in library packages (use par.Go)
+//	obsstop   every obs.NewMonitor / obs.NewProfiler reaches Stop
 //
 // cmd/lint drives the suite through go vet; see README "Static
 // analysis" for running and suppressing.
@@ -19,6 +20,7 @@ import (
 	"gpucnn/internal/analysis/arenaput"
 	"gpucnn/internal/analysis/ctxbg"
 	"gpucnn/internal/analysis/errcmp"
+	"gpucnn/internal/analysis/obsstop"
 	"gpucnn/internal/analysis/rawgo"
 	"gpucnn/internal/analysis/spanend"
 )
@@ -31,5 +33,6 @@ func All() []*analysis.Analyzer {
 		errcmp.Analyzer,
 		ctxbg.Analyzer,
 		rawgo.Analyzer,
+		obsstop.Analyzer,
 	}
 }

@@ -1,0 +1,12 @@
+package obsstop_test
+
+import (
+	"testing"
+
+	"gpucnn/internal/analysis/atest"
+	"gpucnn/internal/analysis/obsstop"
+)
+
+func TestObsStop(t *testing.T) {
+	atest.Run(t, atest.TestData(t), obsstop.Analyzer, "a")
+}

@@ -1,0 +1,97 @@
+// Package a holds the positive obsstop findings and the suppression /
+// false-positive guard cases.
+package a
+
+import "obs"
+
+// --- positive findings -------------------------------------------------
+
+func leakOnEarlyReturn(fail bool) int {
+	m := obs.NewMonitor(obs.MonitorConfig{}) // want `monitor from obs\.NewMonitor assigned to m does not reach \.Stop`
+	m.Eval()
+	if fail {
+		return 1 // want `this return may be reached without releasing m`
+	}
+	m.Stop()
+	return 0
+}
+
+func profilerNeverStopped() {
+	p := obs.NewProfiler(obs.ProfilerConfig{}) // want `profiler from obs\.NewProfiler assigned to p does not reach \.Stop`
+	p.Start()
+	return // want `this return may be reached without releasing p`
+}
+
+func discarded() {
+	obs.NewMonitor(obs.MonitorConfig{}) // want `result of monitor from obs\.NewMonitor is discarded`
+}
+
+func blanked() {
+	_ = obs.NewProfiler(obs.ProfilerConfig{}) // want `assigned to the blank identifier`
+}
+
+// --- suppressed by defer / release on all paths -----------------------
+
+func deferStop(fail bool) int {
+	m := obs.NewMonitor(obs.MonitorConfig{})
+	defer m.Stop()
+	if fail {
+		return 1
+	}
+	m.Eval()
+	return 0
+}
+
+func stopOnAllPaths(fail bool) {
+	p := obs.NewProfiler(obs.ProfilerConfig{})
+	p.Start()
+	if fail {
+		p.Stop()
+		return
+	}
+	p.Stop()
+}
+
+func deferClosure() {
+	p := obs.NewProfiler(obs.ProfilerConfig{})
+	p.Start()
+	defer func() {
+		p.Stop()
+	}()
+	_, _ = p.CaptureOnce()
+}
+
+// --- false-positive guards: ownership transfer ------------------------
+
+type server struct{ m *obs.Monitor }
+
+// Stored in a struct: the owner's Close stops it.
+func wire(s *server) {
+	s.m = obs.NewMonitor(obs.MonitorConfig{})
+}
+
+// Returned to the caller, directly and via a variable.
+func build() *obs.Monitor {
+	return obs.NewMonitor(obs.MonitorConfig{})
+}
+
+func buildVar(warm bool) *obs.Monitor {
+	m := obs.NewMonitor(obs.MonitorConfig{})
+	if warm {
+		m.Eval()
+	}
+	return m
+}
+
+// Handed to another function, which owns the release.
+func watch(m *obs.Monitor) {}
+
+func passAlong() {
+	watch(obs.NewMonitor(obs.MonitorConfig{}))
+}
+
+// Explicitly suppressed, with the mandatory reason.
+func suppressed() {
+	//lint:ignore obsstop demo: leaked on purpose in this fixture
+	obs.NewMonitor(obs.MonitorConfig{})
+}

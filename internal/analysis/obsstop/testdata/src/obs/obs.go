@@ -1,0 +1,21 @@
+// Package obs is a stub of gpucnn/internal/obs for the obsstop
+// fixtures: the analyzer matches by import-path base, so this
+// GOPATH-style stand-in exercises it exactly.
+package obs
+
+type Monitor struct{}
+type Profiler struct{}
+type MonitorConfig struct{}
+type ProfilerConfig struct{}
+type Transition struct{}
+type Capture struct{}
+
+func NewMonitor(cfg MonitorConfig) *Monitor    { return &Monitor{} }
+func NewProfiler(cfg ProfilerConfig) *Profiler { return &Profiler{} }
+
+func (m *Monitor) Eval() []Transition { return nil }
+func (m *Monitor) Stop()              {}
+
+func (p *Profiler) Start()                          {}
+func (p *Profiler) Stop()                           {}
+func (p *Profiler) CaptureOnce() ([]Capture, error) { return nil, nil }

@@ -12,6 +12,7 @@ import (
 	"gpucnn/internal/conv"
 	"gpucnn/internal/gpusim"
 	"gpucnn/internal/impls"
+	"gpucnn/internal/obs"
 	"gpucnn/internal/par"
 	"gpucnn/internal/telemetry"
 )
@@ -61,6 +62,7 @@ type Task struct {
 func RunCells(ctx context.Context, tasks []Task, opt Options) []Cell {
 	cells := make([]Cell, len(tasks))
 	reg := telemetry.RegistryFromContext(ctx)
+	plane := obs.FromContext(ctx)
 	errs := runIndexed(ctx, len(tasks), opt, func(ctx context.Context, i int) {
 		t := tasks[i]
 		if opt.Timeout > 0 {
@@ -68,13 +70,20 @@ func RunCells(ctx context.Context, tasks []Task, opt Options) []Cell {
 			ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
 			defer cancel()
 		}
+		// The active-op tag keys profile captures to the sweep cell in
+		// flight (last writer wins across concurrent workers — any of
+		// the simultaneously running cells is a truthful answer).
+		plane.SetOp(fmt.Sprintf("sweep/%s/%s", t.Engine.Name(), t.Cfg))
 		start := time.Now()
 		defer func() {
+			wall := time.Since(start).Seconds()
 			if reg != nil {
 				reg.Histogram("bench_cell_latency_seconds",
 					telemetry.Labels{"impl": t.Engine.Name()}, nil).
-					Observe(time.Since(start).Seconds())
+					Observe(wall)
 			}
+			plane.Counter("bench.cells").Inc()
+			plane.Histogram("bench.cell_seconds", nil).Observe(wall)
 		}()
 		cells[i] = MeasureCtx(ctx, t.Engine, t.Cfg, t.Spec)
 	})
@@ -135,6 +144,19 @@ func runIndexed(ctx context.Context, n int, opt Options, job func(ctx context.Co
 		})
 	}
 	wg.Wait()
+	if plane := obs.FromContext(ctx); plane != nil {
+		wall := time.Since(start)
+		var totalBusy time.Duration
+		for _, b := range busy {
+			totalBusy += b
+		}
+		plane.Gauge("bench.pool_workers").Set(float64(workers))
+		plane.Counter("bench.pool_jobs").Add(float64(n))
+		if wall > 0 {
+			plane.Gauge("bench.pool_utilization").
+				Set(totalBusy.Seconds() / (float64(workers) * wall.Seconds()))
+		}
+	}
 	if reg := telemetry.RegistryFromContext(ctx); reg != nil {
 		wall := time.Since(start)
 		reg.Gauge("bench_executor_workers", nil).Set(float64(workers))

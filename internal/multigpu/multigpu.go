@@ -22,6 +22,7 @@ import (
 	"gpucnn/internal/conv"
 	"gpucnn/internal/gpusim"
 	"gpucnn/internal/impls"
+	"gpucnn/internal/obs"
 	"gpucnn/internal/telemetry"
 )
 
@@ -116,6 +117,8 @@ func (c *Cluster) IterationCtx(ctx context.Context, e impls.Engine, cfg conv.Con
 	_, span := telemetry.StartSpan(ctx, "multigpu.iteration")
 	span.SetAttr("impl", e.Name()).SetAttr("devices", fmt.Sprint(n))
 	defer span.End()
+	plane := obs.FromContext(ctx)
+	plane.SetOp(fmt.Sprintf("multigpu/%s/x%d/%s", e.Name(), n, cfg))
 
 	// runReplica executes one device's shard. The replica span is ended
 	// and the device's telemetry sink detached on every exit path —
@@ -126,10 +129,19 @@ func (c *Cluster) IterationCtx(ctx context.Context, e impls.Engine, cfg conv.Con
 		dev.ResetClock()
 		rsp := span.Child(fmt.Sprintf("replica-%d", i)).SetProc(i).
 			SetAttr("shard_batch", fmt.Sprint(shard.Batch))
+		// Tee the span recorder with the plane's per-device windowed
+		// sink; either leg may be absent.
+		var sink gpusim.TraceSink
 		if rsp != nil {
 			rec := telemetry.NewRecorder()
 			rec.Attach(rsp)
-			dev.SetSink(rec)
+			sink = rec
+		}
+		if plane != nil {
+			sink = obs.TeeSinks(sink, obs.NewDeviceSink(plane, fmt.Sprint(i)))
+		}
+		if sink != nil {
+			dev.SetSink(sink)
 		}
 		defer func() {
 			rsp.SetSim(0, dev.Elapsed())
@@ -170,6 +182,10 @@ func (c *Cluster) IterationCtx(ctx context.Context, e impls.Engine, cfg conv.Con
 		reg.Counter("multigpu_allreduce_seconds_total", labels).Add(ar.Seconds())
 		reg.Counter("multigpu_compute_seconds_total", labels).Add(slowest.Seconds())
 	}
+	plane.Counter("multigpu.iterations").Inc()
+	plane.Counter("multigpu.allreduce_bytes").Add(float64(cfg.FilterBytes()))
+	plane.Counter("multigpu.allreduce_seconds").Add(ar.Seconds())
+	plane.Counter("multigpu.compute_seconds").Add(slowest.Seconds())
 
 	// Single-device reference for the speedup.
 	ref := gpusim.New(c.spec)

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CounterStat is the dashboard view of one windowed counter.
+type CounterStat struct {
+	Name     string  `json:"name"`
+	Total    float64 `json:"total"`
+	SumFast  float64 `json:"sum_fast"`
+	SumSlow  float64 `json:"sum_slow"`
+	RateFast float64 `json:"rate_fast"` // per second
+	RateSlow float64 `json:"rate_slow"`
+}
+
+// GaugeStat is the dashboard view of one windowed gauge.
+type GaugeStat struct {
+	Name    string  `json:"name"`
+	Value   float64 `json:"value"`
+	MaxSlow float64 `json:"max_slow"`
+}
+
+// HistStat is the dashboard view of one windowed histogram; quantiles
+// are 0 (not NaN) when a window is empty so the JSON stays valid.
+type HistStat struct {
+	Name      string    `json:"name"`
+	CountFast uint64    `json:"count_fast"`
+	CountSlow uint64    `json:"count_slow"`
+	P50Fast   float64   `json:"p50_fast"`
+	P99Fast   float64   `json:"p99_fast"`
+	P50Slow   float64   `json:"p50_slow"`
+	P99Slow   float64   `json:"p99_slow"`
+	Series    []float64 `json:"series,omitempty"` // per-slot counts, oldest first
+}
+
+// DashSnapshot is one self-contained dashboard frame: every windowed
+// instrument evaluated over the fast and slow windows, SLO states with
+// live burn rates, recent transitions, latest profile attributions and
+// the registered info sections. It is the JSON body of
+// /debug/dash.json and the input of RenderText.
+type DashSnapshot struct {
+	At          time.Time                 `json:"at"`
+	Op          string                    `json:"op,omitempty"`
+	Fast        string                    `json:"fast_window"`
+	Slow        string                    `json:"slow_window"`
+	Counters    []CounterStat             `json:"counters,omitempty"`
+	Gauges      []GaugeStat               `json:"gauges,omitempty"`
+	Histograms  []HistStat                `json:"histograms,omitempty"`
+	SLOs        []ObjectiveStatus         `json:"slos,omitempty"`
+	Transitions []Transition              `json:"transitions,omitempty"`
+	Profiles    []Capture                 `json:"profiles,omitempty"`
+	Sections    map[string]map[string]any `json:"sections,omitempty"`
+	SectionKeys []string                  `json:"-"`
+}
+
+// recentTransitions caps the transition tail a snapshot carries.
+const recentTransitions = 12
+
+// Dash snapshots the plane. Safe on a nil plane (returns an empty
+// frame stamped by the wall clock).
+func (p *Plane) Dash() DashSnapshot {
+	snap := DashSnapshot{At: p.Clock().Now(), Fast: FastWindow.String()}
+	if p == nil {
+		snap.Slow = "0s"
+		return snap
+	}
+	fast := FastWindow
+	if fast > p.win {
+		fast = p.win
+	}
+	snap.Fast, snap.Slow = fast.String(), p.win.String()
+
+	cNames, gNames, hNames, cs, gs, hs, monitors, profilers, sections, secFns, op := p.instruments()
+	snap.Op = op
+	for _, name := range cNames {
+		c := cs[name]
+		snap.Counters = append(snap.Counters, CounterStat{
+			Name: name, Total: c.Total(),
+			SumFast: c.Sum(fast), SumSlow: c.Sum(0),
+			RateFast: c.Rate(fast), RateSlow: c.Rate(0),
+		})
+	}
+	for _, name := range gNames {
+		g := gs[name]
+		snap.Gauges = append(snap.Gauges, GaugeStat{Name: name, Value: g.Value(), MaxSlow: g.Max(0)})
+	}
+	for _, name := range hNames {
+		h := hs[name]
+		snap.Histograms = append(snap.Histograms, HistStat{
+			Name:      name,
+			CountFast: h.Count(fast), CountSlow: h.Count(0),
+			P50Fast: quantileOr(h, fast, 0.5, 0), P99Fast: quantileOr(h, fast, 0.99, 0),
+			P50Slow: quantileOr(h, 0, 0.5, 0), P99Slow: quantileOr(h, 0, 0.99, 0),
+			Series: h.CountSeries(0),
+		})
+	}
+	for _, m := range monitors {
+		snap.SLOs = append(snap.SLOs, m.Status()...)
+		snap.Transitions = append(snap.Transitions, m.Transitions()...)
+	}
+	sort.Slice(snap.Transitions, func(i, j int) bool {
+		return snap.Transitions[i].At.Before(snap.Transitions[j].At)
+	})
+	if len(snap.Transitions) > recentTransitions {
+		snap.Transitions = snap.Transitions[len(snap.Transitions)-recentTransitions:]
+	}
+	for _, pr := range profilers {
+		if c, ok := pr.Last("cpu"); ok {
+			snap.Profiles = append(snap.Profiles, c)
+		}
+		if c, ok := pr.Last("heap"); ok {
+			snap.Profiles = append(snap.Profiles, c)
+		}
+	}
+	if len(sections) > 0 {
+		snap.Sections = map[string]map[string]any{}
+		for _, name := range sections {
+			if fn := secFns[name]; fn != nil {
+				snap.Sections[name] = fn()
+				snap.SectionKeys = append(snap.SectionKeys, name)
+			}
+		}
+	}
+	return snap
+}
+
+func fmtNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func fmtSecs(v float64) string {
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// RenderText writes the frame as an aligned plain-text dashboard — the
+// body of /debug/dash and of each cmd/obswatch refresh.
+func (s DashSnapshot) RenderText(w io.Writer) {
+	fmt.Fprintf(w, "obs dash @ %s", s.At.Format("15:04:05.000"))
+	if s.Op != "" {
+		fmt.Fprintf(w, "   op=%s", s.Op)
+	}
+	fmt.Fprintf(w, "   windows fast=%s slow=%s\n", s.Fast, s.Slow)
+
+	if len(s.SLOs) > 0 {
+		fmt.Fprintf(w, "\nSLO%-21s %-5s %9s %10s %10s\n", "", "state", "budget", "burn-fast", "burn-slow")
+		for _, o := range s.SLOs {
+			fmt.Fprintf(w, "  %-22s %-5s %9.4g %10.2f %10.2f\n",
+				o.Name, o.State, o.Budget, o.BurnFast, o.BurnSlow)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintf(w, "\n%-24s %8s %10s %10s %10s %10s\n",
+			"latency", "n(slow)", "p50-fast", "p99-fast", "p50-slow", "p99-slow")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(w, "  %-22s %8d %10s %10s %10s %10s\n",
+				h.Name, h.CountSlow,
+				fmtSecs(h.P50Fast), fmtSecs(h.P99Fast), fmtSecs(h.P50Slow), fmtSecs(h.P99Slow))
+		}
+	}
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(w, "\n%-24s %12s %12s %12s\n", "counter", "total", "rate-fast/s", "rate-slow/s")
+		for _, c := range s.Counters {
+			fmt.Fprintf(w, "  %-22s %12s %12.4g %12.4g\n", c.Name, fmtNum(c.Total), c.RateFast, c.RateSlow)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(w, "\n%-24s %12s %12s\n", "gauge", "value", "max(slow)")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(w, "  %-22s %12s %12s\n", g.Name, fmtNum(g.Value), fmtNum(g.MaxSlow))
+		}
+	}
+	for _, name := range s.SectionKeys {
+		sec := s.Sections[name]
+		fmt.Fprintf(w, "\n[%s]\n", name)
+		keys := make([]string, 0, len(sec))
+		for k := range sec {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-22s %v\n", k, sec[k])
+		}
+	}
+	if len(s.Profiles) > 0 {
+		fmt.Fprintf(w, "\nprofiles\n")
+		for _, c := range s.Profiles {
+			fmt.Fprintf(w, "  %-4s @ %s", c.Kind, c.At.Format("15:04:05"))
+			if c.Op != "" {
+				fmt.Fprintf(w, " op=%s", c.Op)
+			}
+			var tops []string
+			for _, f := range c.Top {
+				tops = append(tops, fmt.Sprintf("%s(%d)", f.Func, f.Count))
+			}
+			if len(tops) > 0 {
+				fmt.Fprintf(w, "  top: %s", strings.Join(tops, ", "))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if len(s.Transitions) > 0 {
+		fmt.Fprintf(w, "\ntransitions\n")
+		for _, t := range s.Transitions {
+			fmt.Fprintf(w, "  %s  %-22s %s -> %s  (burn fast %.2f slow %.2f)\n",
+				t.At.Format("15:04:05.000"), t.Objective, t.FromS, t.ToS, t.BurnFast, t.BurnSlow)
+		}
+	}
+}
+
+// Mount registers the dashboard routes on a mux (typically the one
+// from telemetry.HandlerMux):
+//
+//	/debug/dash       plain-text frame
+//	/debug/dash.json  DashSnapshot JSON
+func Mount(mux *http.ServeMux, p *Plane) {
+	mux.HandleFunc("/debug/dash", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		p.Dash().RenderText(w)
+	})
+	mux.HandleFunc("/debug/dash.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p.Dash())
+	})
+}
+
+// DashHandler returns a standalone handler serving only the dashboard
+// routes, for embedders without a telemetry mux.
+func DashHandler(p *Plane) http.Handler {
+	mux := http.NewServeMux()
+	Mount(mux, p)
+	return mux
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpucnn/internal/gpusim"
+	"gpucnn/internal/telemetry"
+)
+
+// TestDashEndpoints mounts the dashboard on telemetry's exporter mux
+// and checks both the text and JSON routes end to end.
+func TestDashEndpoints(t *testing.T) {
+	fc := NewFakeClock(t0)
+	p := testPlane(fc, time.Minute, time.Second)
+	lat := p.Histogram("e2e", []float64{0.001, 0.002, 0.004, 0.008})
+	depth := p.Gauge("queue_depth")
+	offered := p.Counter("offered")
+	p.SetOp("conv3x3/b32")
+	p.Section("batcher", func() map[string]any {
+		return map[string]any{"max_batch": 32, "policy": "dynamic"}
+	})
+	m := NewMonitor(MonitorConfig{Clock: fc, Fast: 5 * time.Second, Slow: time.Minute},
+		LatencyObjective{ObjName: "e2e-p99", H: lat, Threshold: 0.008, Target: 0.99})
+	defer m.Stop()
+	p.Watch(m)
+
+	for i := 0; i < 50; i++ {
+		lat.Observe(0.003)
+		offered.Inc()
+	}
+	depth.Set(7)
+	fc.Advance(time.Second)
+	m.Eval()
+
+	mux := telemetry.HandlerMux(telemetry.NewRegistry(), nil)
+	Mount(mux, p)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// JSON route: decode into the typed snapshot and spot-check.
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/dash.json", nil))
+	if rr.Code != 200 {
+		t.Fatalf("dash.json status %d", rr.Code)
+	}
+	var snap DashSnapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("dash.json decode: %v", err)
+	}
+	if snap.Op != "conv3x3/b32" {
+		t.Errorf("op = %q", snap.Op)
+	}
+	if len(snap.Histograms) != 1 || snap.Histograms[0].CountSlow != 50 {
+		t.Errorf("histograms = %+v", snap.Histograms)
+	}
+	if snap.Histograms[0].P99Slow != 0.004 {
+		t.Errorf("p99 = %v, want 0.004", snap.Histograms[0].P99Slow)
+	}
+	if len(snap.SLOs) != 1 || snap.SLOs[0].State != "OK" {
+		t.Errorf("slos = %+v", snap.SLOs)
+	}
+	if snap.Sections["batcher"]["policy"] != "dynamic" {
+		t.Errorf("sections = %+v", snap.Sections)
+	}
+
+	// Text route: the rendered frame names every surface.
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/dash", nil))
+	body := rr.Body.String()
+	for _, want := range []string{"e2e-p99", "OK", "queue_depth", "offered", "[batcher]", "op=conv3x3/b32"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("text dash missing %q in:\n%s", want, body)
+		}
+	}
+
+	// The telemetry routes still work on the same mux.
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 {
+		t.Errorf("/metrics status %d", rr.Code)
+	}
+}
+
+// TestDeviceSinkFeedsPlane runs a real simulated device with a tee of
+// the span recorder and the plane sink, then checks the windowed
+// throughput instruments saw the kernels.
+func TestDeviceSinkFeedsPlane(t *testing.T) {
+	p := NewPlane(Options{Window: time.Minute, Resolution: time.Second})
+	sink := NewDeviceSink(p, "0")
+	trace := &gpusim.Trace{}
+	dev := gpusim.New(gpusim.TeslaK40c())
+	dev.SetSink(TeeSinks(trace, sink, nil))
+
+	dev.MustLaunch(gpusim.KernelSpec{
+		Name: "gemm", Grid: gpusim.Dim3{X: 1024}, Block: gpusim.Dim3{X: 256},
+		RegsPerThread: 32, FLOPs: 1e9,
+	})
+	dev.Copy(gpusim.Transfer{Bytes: 1 << 20, Pinned: true})
+
+	if got := p.Counter("dev0.kernels").Total(); got != 1 {
+		t.Fatalf("kernels = %v, want 1", got)
+	}
+	if got := p.Counter("dev0.flops").Total(); got != 1e9 {
+		t.Fatalf("flops = %v", got)
+	}
+	if got := p.Counter("dev0.transfers").Total(); got != 1 {
+		t.Fatalf("transfers = %v, want 1", got)
+	}
+	if got := p.Counter("dev0.transfer_bytes").Total(); got != 1<<20 {
+		t.Fatalf("transfer bytes = %v", got)
+	}
+	if trace.Len() != 2 {
+		t.Fatalf("tee dropped the recorder leg: %d events", trace.Len())
+	}
+	if p.Counter("dev0.busy_seconds").Total() <= 0 {
+		t.Fatal("busy seconds not accumulated")
+	}
+}

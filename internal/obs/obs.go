@@ -1,0 +1,90 @@
+// Package obs is the operational observability plane layered on
+// internal/telemetry. Where telemetry answers "what happened over the
+// whole run" (monotonic counters, cumulative histograms, span traces),
+// obs answers "what is happening right now": rolling time-windowed
+// series ("p99 over the last 10 s"), SLO burn-rate monitors with
+// OK→WARN→PAGE transitions, periodic CPU/heap profile capture keyed to
+// the active operation, and a live /debug/dash HTTP dashboard mounted
+// on telemetry's exporter mux.
+//
+// Every instrument is cheap enough for hot paths (a mutex-guarded ring
+// slot update) and every clock-dependent component takes an injectable
+// Clock, so window-edge and burn-rate behaviour is deterministic under
+// test.
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the plane. Production code uses Wall;
+// tests inject a FakeClock and step it across slot boundaries.
+type Clock interface {
+	Now() time.Time
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// Wall is the real-time clock.
+var Wall Clock = wallClock{}
+
+// IsWall reports whether c is the real-time clock (treating nil as
+// wall). Components that poll on their own (Monitor, Profiler) use it
+// to default to manual evaluation under a fake clock.
+func IsWall(c Clock) bool {
+	_, ok := c.(wallClock)
+	return c == nil || ok
+}
+
+// FakeClock is a manually advanced Clock for deterministic tests.
+type FakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewFakeClock starts a fake clock at the given instant.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{t: start}
+}
+
+// Now returns the fake instant.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// Set jumps the clock to an absolute instant.
+func (c *FakeClock) Set(t time.Time) {
+	c.mu.Lock()
+	c.t = t
+	c.mu.Unlock()
+}
+
+type planeKey struct{}
+
+// WithPlane returns a context carrying the plane, mirroring
+// telemetry.WithRegistry: sweep and multi-GPU layers pick it up with
+// FromContext and feed their windowed instruments without a hard
+// dependency on who constructed it.
+func WithPlane(ctx context.Context, p *Plane) context.Context {
+	return context.WithValue(ctx, planeKey{}, p)
+}
+
+// FromContext returns the context's plane, or nil. All plane and
+// instrument methods are nil-safe, so call sites need no conditionals.
+func FromContext(ctx context.Context) *Plane {
+	p, _ := ctx.Value(planeKey{}).(*Plane)
+	return p
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"gpucnn/internal/telemetry"
+)
+
+// DefaultWindow and DefaultResolution give every instrument a one
+// minute of history at one-second granularity — wide enough for the
+// slow SLO window, fine enough for the fast one.
+const (
+	DefaultWindow     = time.Minute
+	DefaultResolution = time.Second
+)
+
+// Fast and Slow are the plane's canonical query windows: dashboards
+// show "last 10 s" next to "last 1 m", and the burn-rate monitors pair
+// a fast window (default FastWindow) with a slow one (the full
+// instrument window).
+const (
+	FastWindow = 10 * time.Second
+	SlowWindow = time.Minute
+)
+
+// Options configures a Plane. Zero values mean wall clock, one-minute
+// window, one-second resolution.
+type Options struct {
+	Clock      Clock
+	Window     time.Duration
+	Resolution time.Duration
+}
+
+// Plane is one process's rolling observability surface: a registry of
+// windowed instruments (same name+kind idempotency as
+// telemetry.Registry), an "active operation" tag for profile
+// attribution, pluggable info sections (batcher internals, worker-pool
+// state) and the monitors/profilers watching it. All methods are safe
+// for concurrent use and nil-safe, so layers can thread an optional
+// plane through contexts unconditionally.
+type Plane struct {
+	clock Clock
+	win   time.Duration
+	res   time.Duration
+
+	mu        sync.Mutex
+	counters  map[string]*WindowedCounter
+	gauges    map[string]*WindowedGauge
+	hists     map[string]*WindowedHistogram
+	order     map[string][]string // per kind, registration order
+	op        string
+	sections  map[string]func() map[string]any
+	secOrder  []string
+	monitors  []*Monitor
+	profilers []*Profiler
+}
+
+// NewPlane creates a plane.
+func NewPlane(opts Options) *Plane {
+	if opts.Clock == nil {
+		opts.Clock = Wall
+	}
+	if opts.Resolution <= 0 {
+		opts.Resolution = DefaultResolution
+	}
+	if opts.Window < opts.Resolution {
+		opts.Window = DefaultWindow
+	}
+	return &Plane{
+		clock:    opts.Clock,
+		win:      opts.Window,
+		res:      opts.Resolution,
+		counters: map[string]*WindowedCounter{},
+		gauges:   map[string]*WindowedGauge{},
+		hists:    map[string]*WindowedHistogram{},
+		order:    map[string][]string{},
+		sections: map[string]func() map[string]any{},
+	}
+}
+
+// Clock returns the plane's clock (Wall for a nil plane), so attached
+// components share one notion of time.
+func (p *Plane) Clock() Clock {
+	if p == nil {
+		return Wall
+	}
+	return p.clock
+}
+
+// Window returns the configured instrument window (0 for nil).
+func (p *Plane) Window() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.win
+}
+
+// Counter returns the named windowed counter, creating it on first
+// use. Returns nil (a no-op instrument) on a nil plane.
+func (p *Plane) Counter(name string) *WindowedCounter {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.counters[name]
+	if !ok {
+		c = &WindowedCounter{r: newRing[float64](p.clock, p.win, p.res)}
+		p.counters[name] = c
+		p.order["counter"] = append(p.order["counter"], name)
+	}
+	return c
+}
+
+// Gauge returns the named windowed gauge, creating it on first use.
+func (p *Plane) Gauge(name string) *WindowedGauge {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g, ok := p.gauges[name]
+	if !ok {
+		g = &WindowedGauge{r: newRing[gaugeSlot](p.clock, p.win, p.res)}
+		p.gauges[name] = g
+		p.order["gauge"] = append(p.order["gauge"], name)
+	}
+	return g
+}
+
+// Histogram returns the named windowed histogram, creating it on first
+// use with the given bucket bounds (first registration wins; nil means
+// telemetry.DefaultLatencyBuckets).
+func (p *Plane) Histogram(name string, buckets []float64) *WindowedHistogram {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok := p.hists[name]
+	if !ok {
+		if len(buckets) == 0 {
+			buckets = telemetry.DefaultLatencyBuckets
+		}
+		bs := append([]float64(nil), buckets...)
+		sort.Float64s(bs)
+		h = &WindowedHistogram{r: newRing[histSlot](p.clock, p.win, p.res), bounds: bs}
+		p.hists[name] = h
+		p.order["histogram"] = append(p.order["histogram"], name)
+	}
+	return h
+}
+
+// SetOp tags the plane with the operation currently in flight (sweep
+// cell name, serve batch policy). Profile captures and dashboard
+// snapshots carry the tag, answering "what was running when this was
+// taken".
+func (p *Plane) SetOp(op string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.op = op
+	p.mu.Unlock()
+}
+
+// Op returns the active operation tag.
+func (p *Plane) Op() string {
+	if p == nil {
+		return ""
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.op
+}
+
+// Section registers a named dashboard info section. The callback runs
+// at snapshot time and must be safe to call from any goroutine;
+// returned maps should hold JSON-encodable scalars. Re-registering a
+// name replaces the callback.
+func (p *Plane) Section(name string, fn func() map[string]any) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if _, ok := p.sections[name]; !ok {
+		p.secOrder = append(p.secOrder, name)
+	}
+	p.sections[name] = fn
+	p.mu.Unlock()
+}
+
+// Watch attaches a monitor so its SLO states appear in dashboard
+// snapshots.
+func (p *Plane) Watch(m *Monitor) {
+	if p == nil || m == nil {
+		return
+	}
+	p.mu.Lock()
+	p.monitors = append(p.monitors, m)
+	p.mu.Unlock()
+}
+
+// Unwatch detaches a monitor (a closing server removes its stopped
+// monitor so the dashboard never shows stale states).
+func (p *Plane) Unwatch(m *Monitor) {
+	if p == nil || m == nil {
+		return
+	}
+	p.mu.Lock()
+	for i, w := range p.monitors {
+		if w == m {
+			p.monitors = append(p.monitors[:i], p.monitors[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
+// AttachProfiler surfaces a profiler's latest captures in dashboard
+// snapshots.
+func (p *Plane) AttachProfiler(pr *Profiler) {
+	if p == nil || pr == nil {
+		return
+	}
+	p.mu.Lock()
+	p.profilers = append(p.profilers, pr)
+	p.mu.Unlock()
+}
+
+// instruments copies the registry under lock for snapshotting.
+func (p *Plane) instruments() (counters, gauges, hists []string,
+	cs map[string]*WindowedCounter, gs map[string]*WindowedGauge, hs map[string]*WindowedHistogram,
+	monitors []*Monitor, profilers []*Profiler,
+	sections []string, secFns map[string]func() map[string]any, op string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	counters = append([]string(nil), p.order["counter"]...)
+	gauges = append([]string(nil), p.order["gauge"]...)
+	hists = append([]string(nil), p.order["histogram"]...)
+	cs, gs, hs = map[string]*WindowedCounter{}, map[string]*WindowedGauge{}, map[string]*WindowedHistogram{}
+	for k, v := range p.counters {
+		cs[k] = v
+	}
+	for k, v := range p.gauges {
+		gs[k] = v
+	}
+	for k, v := range p.hists {
+		hs[k] = v
+	}
+	monitors = append([]*Monitor(nil), p.monitors...)
+	profilers = append([]*Profiler(nil), p.profilers...)
+	sections = append([]string(nil), p.secOrder...)
+	secFns = map[string]func() map[string]any{}
+	for k, v := range p.sections {
+		secFns[k] = v
+	}
+	return counters, gauges, hists, cs, gs, hs, monitors, profilers, sections, secFns, p.op
+}

@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+
+	"gpucnn/internal/gpusim"
+)
+
+// DeviceSink feeds a simulated device's event stream into the plane's
+// windowed instruments: kernel/transfer counts, simulated busy
+// seconds, FLOPs and DRAM traffic, all under a "dev<i>." prefix. The
+// rolling GFLOPS a dashboard shows is flops.Sum(w) / w — attained
+// throughput over the trailing window, the live counterpart of the
+// paper's per-layer GFLOPS tables.
+type DeviceSink struct {
+	kernels   *WindowedCounter
+	transfers *WindowedCounter
+	busy      *WindowedCounter // simulated busy seconds
+	flops     *WindowedCounter
+	dram      *WindowedCounter
+	xfer      *WindowedCounter // transferred bytes
+}
+
+// NewDeviceSink registers (or reuses) the device's instruments on the
+// plane. Nil-safe: a sink over a nil plane records into nil
+// instruments, which no-op.
+func NewDeviceSink(p *Plane, device string) *DeviceSink {
+	pre := fmt.Sprintf("dev%s.", device)
+	return &DeviceSink{
+		kernels:   p.Counter(pre + "kernels"),
+		transfers: p.Counter(pre + "transfers"),
+		busy:      p.Counter(pre + "busy_seconds"),
+		flops:     p.Counter(pre + "flops"),
+		dram:      p.Counter(pre + "dram_bytes"),
+		xfer:      p.Counter(pre + "transfer_bytes"),
+	}
+}
+
+// RecordEvent implements gpusim.TraceSink.
+func (s *DeviceSink) RecordEvent(e gpusim.TraceEvent) {
+	if s == nil {
+		return
+	}
+	s.busy.Add(e.Duration.Seconds())
+	switch e.Category {
+	case "transfer":
+		s.transfers.Inc()
+		s.xfer.Add(float64(e.Bytes))
+	default:
+		s.kernels.Inc()
+		s.flops.Add(e.FLOPs)
+		s.dram.Add(e.DRAMBytes)
+	}
+}
+
+// teeSink fans one event stream out to several sinks.
+type teeSink []gpusim.TraceSink
+
+// RecordEvent implements gpusim.TraceSink.
+func (t teeSink) RecordEvent(e gpusim.TraceEvent) {
+	for _, s := range t {
+		s.RecordEvent(e)
+	}
+}
+
+// TeeSinks combines sinks into one: a device whose SetSink takes a
+// single sink can feed both the span-tree recorder and the windowed
+// plane. Nil sinks are dropped; zero live sinks yields nil (disable).
+func TeeSinks(sinks ...gpusim.TraceSink) gpusim.TraceSink {
+	live := make(teeSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

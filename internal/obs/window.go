@@ -1,0 +1,412 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"gpucnn/internal/telemetry"
+)
+
+// ring is the shared rotation machinery of the windowed instruments: a
+// fixed array of slots, each covering one resolution interval of the
+// clock, addressed by the absolute slot number floor((now−epoch)/res).
+// Slots are reset lazily — a write or read that lands on a slot whose
+// stored number is stale re-zeroes it first — so rotation costs nothing
+// when the instrument is idle and there is no background goroutine per
+// instrument.
+//
+// Capacity is ceil(window/res)+1 slots: the k = ceil(window/res) slots
+// a full-window query merges (the current, partially filled slot plus
+// the k−1 preceding full ones) plus one spare so an in-progress write
+// to the oldest queried slot can never alias the newest. A query over
+// window W therefore covers between W−res (new slot just opened) and W
+// (slot about to close) of history; resolution is the quantisation
+// step, not an error bar.
+type ring[S any] struct {
+	mu    sync.Mutex
+	clock Clock
+	epoch time.Time
+	res   time.Duration
+	win   time.Duration
+	slots []ringSlot[S]
+	zero  S
+}
+
+type ringSlot[S any] struct {
+	num int64 // absolute slot number, -1 when never used
+	val S
+}
+
+func slotsFor(win, res time.Duration) int {
+	k := int((win + res - 1) / res)
+	if k < 1 {
+		k = 1
+	}
+	return k + 1
+}
+
+func newRing[S any](clock Clock, win, res time.Duration) *ring[S] {
+	if clock == nil {
+		clock = Wall
+	}
+	if res <= 0 {
+		res = time.Second
+	}
+	if win < res {
+		win = res
+	}
+	r := &ring[S]{
+		clock: clock,
+		epoch: clock.Now(),
+		res:   res,
+		win:   win,
+		slots: make([]ringSlot[S], slotsFor(win, res)),
+	}
+	for i := range r.slots {
+		r.slots[i].num = -1
+	}
+	return r
+}
+
+// current returns the slot for now, resetting it if stale. Callers
+// hold r.mu.
+func (r *ring[S]) current(now time.Time) *ringSlot[S] {
+	num := int64(now.Sub(r.epoch) / r.res)
+	if num < 0 {
+		num = 0 // clock stepped backwards: pin to the first slot
+	}
+	s := &r.slots[num%int64(len(r.slots))]
+	if s.num != num {
+		s.num = num
+		s.val = r.zero
+	}
+	return s
+}
+
+// recent visits the k = ceil(w/res) most-recent slots (newest first)
+// that are still live, and reports the span of history they cover.
+// Callers hold r.mu.
+func (r *ring[S]) recent(w time.Duration, visit func(*S)) (covered time.Duration) {
+	if w <= 0 || w > r.win {
+		w = r.win
+	}
+	now := r.clock.Now()
+	cur := r.current(now) // rotates, so stale slots below self-identify
+	num := cur.num
+	k := int64((w + r.res - 1) / r.res)
+	if k < 1 {
+		k = 1
+	}
+	for i := int64(0); i < k; i++ {
+		want := num - i
+		if want < 0 {
+			break
+		}
+		s := &r.slots[want%int64(len(r.slots))]
+		if s.num == want {
+			visit(&s.val)
+		}
+	}
+	partial := now.Sub(r.epoch) - time.Duration(num)*r.res
+	covered = time.Duration(k-1)*r.res + partial
+	if elapsed := now.Sub(r.epoch); covered > elapsed {
+		covered = elapsed
+	}
+	return covered
+}
+
+// series returns the last k per-slot values oldest→newest, zero-filled
+// where a slot has aged out or never filled. Callers hold r.mu.
+func (r *ring[S]) series(w time.Duration, get func(*S) float64) []float64 {
+	if w <= 0 || w > r.win {
+		w = r.win
+	}
+	cur := r.current(r.clock.Now())
+	k := int64((w + r.res - 1) / r.res)
+	if k < 1 {
+		k = 1
+	}
+	out := make([]float64, k)
+	for i := int64(0); i < k; i++ {
+		want := cur.num - i
+		if want < 0 {
+			break
+		}
+		s := &r.slots[want%int64(len(r.slots))]
+		if s.num == want {
+			out[k-1-i] = get(&s.val)
+		}
+	}
+	return out
+}
+
+// WindowedCounter accumulates a monotonically increasing quantity and
+// answers "how much in the last w". The zero window queries the full
+// configured window. A nil counter no-ops on writes and reads zero.
+type WindowedCounter struct {
+	r     *ring[float64]
+	total float64
+}
+
+// Add accumulates into the current slot; negative deltas are ignored.
+func (c *WindowedCounter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	c.r.mu.Lock()
+	c.r.current(c.r.clock.Now()).val += v
+	c.total += v
+	c.r.mu.Unlock()
+}
+
+// Inc adds 1.
+func (c *WindowedCounter) Inc() { c.Add(1) }
+
+// Total returns the all-time accumulated value.
+func (c *WindowedCounter) Total() float64 {
+	if c == nil {
+		return 0
+	}
+	c.r.mu.Lock()
+	defer c.r.mu.Unlock()
+	return c.total
+}
+
+// Sum returns the accumulation over the last w (0 = full window).
+func (c *WindowedCounter) Sum(w time.Duration) float64 {
+	if c == nil {
+		return 0
+	}
+	c.r.mu.Lock()
+	defer c.r.mu.Unlock()
+	var sum float64
+	c.r.recent(w, func(v *float64) { sum += *v })
+	return sum
+}
+
+// Rate returns the per-second rate over the last w (0 = full window),
+// dividing by the history actually covered so a freshly started
+// process is not diluted by an empty window.
+func (c *WindowedCounter) Rate(w time.Duration) float64 {
+	if c == nil {
+		return 0
+	}
+	c.r.mu.Lock()
+	defer c.r.mu.Unlock()
+	var sum float64
+	covered := c.r.recent(w, func(v *float64) { sum += *v })
+	if covered <= 0 {
+		return 0
+	}
+	return sum / covered.Seconds()
+}
+
+// Series returns per-slot sums oldest→newest over the last w.
+func (c *WindowedCounter) Series(w time.Duration) []float64 {
+	if c == nil {
+		return nil
+	}
+	c.r.mu.Lock()
+	defer c.r.mu.Unlock()
+	return c.r.series(w, func(v *float64) float64 { return *v })
+}
+
+// gaugeSlot keeps the extrema and final value of one resolution
+// interval.
+type gaugeSlot struct {
+	set      bool
+	last     float64
+	min, max float64
+}
+
+// WindowedGauge tracks an instantaneous value plus its per-slot
+// extrema, so the dashboard can show both "queue depth now" and "peak
+// queue depth in the last minute". A nil gauge no-ops.
+type WindowedGauge struct {
+	r   *ring[gaugeSlot]
+	cur float64
+}
+
+// Set records the value.
+func (g *WindowedGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.r.mu.Lock()
+	s := g.r.current(g.r.clock.Now())
+	if !s.val.set {
+		s.val = gaugeSlot{set: true, last: v, min: v, max: v}
+	} else {
+		s.val.last = v
+		if v < s.val.min {
+			s.val.min = v
+		}
+		if v > s.val.max {
+			s.val.max = v
+		}
+	}
+	g.cur = v
+	g.r.mu.Unlock()
+}
+
+// Add shifts the value by a (possibly negative) delta.
+func (g *WindowedGauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	g.r.mu.Lock()
+	next := g.cur + v
+	s := g.r.current(g.r.clock.Now())
+	if !s.val.set {
+		s.val = gaugeSlot{set: true, last: next, min: next, max: next}
+	} else {
+		s.val.last = next
+		if next < s.val.min {
+			s.val.min = next
+		}
+		if next > s.val.max {
+			s.val.max = next
+		}
+	}
+	g.cur = next
+	g.r.mu.Unlock()
+}
+
+// Value returns the most recently set value (0 if never set).
+func (g *WindowedGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	return g.cur
+}
+
+// Max returns the peak over the last w, or the current value if no
+// slot in the window recorded anything.
+func (g *WindowedGauge) Max(w time.Duration) float64 {
+	if g == nil {
+		return 0
+	}
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	peak, any := 0.0, false
+	g.r.recent(w, func(s *gaugeSlot) {
+		if s.set && (!any || s.max > peak) {
+			peak, any = s.max, true
+		}
+	})
+	if !any {
+		return g.cur
+	}
+	return peak
+}
+
+// Series returns per-slot last values oldest→newest over the last w
+// (0 where a slot saw no Set).
+func (g *WindowedGauge) Series(w time.Duration) []float64 {
+	if g == nil {
+		return nil
+	}
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	return g.r.series(w, func(s *gaugeSlot) float64 { return s.last })
+}
+
+// histSlot is one resolution interval of bucketed observations.
+type histSlot struct {
+	counts []uint64
+	inf    uint64
+	sum    float64
+	count  uint64
+}
+
+// WindowedHistogram buckets observations per resolution interval and
+// merges the live slots into a telemetry.HistogramSnapshot on query,
+// so the rolling p99 reuses the same copied-array quantile math as the
+// cumulative histograms. A nil histogram no-ops; an empty window
+// yields a zero snapshot (NaN quantiles, zero FractionAbove).
+type WindowedHistogram struct {
+	r      *ring[histSlot]
+	bounds []float64
+}
+
+// Observe records one value into the current slot.
+func (h *WindowedHistogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.r.mu.Lock()
+	s := h.r.current(h.r.clock.Now())
+	if s.val.counts == nil {
+		s.val.counts = make([]uint64, len(h.bounds))
+	}
+	s.val.sum += v
+	s.val.count++
+	if i := sort.SearchFloat64s(h.bounds, v); i < len(h.bounds) {
+		s.val.counts[i]++
+	} else {
+		s.val.inf++
+	}
+	h.r.mu.Unlock()
+}
+
+// Window merges the last w (0 = full window) into a cumulative
+// snapshot.
+func (h *WindowedHistogram) Window(w time.Duration) telemetry.HistogramSnapshot {
+	if h == nil {
+		return telemetry.HistogramSnapshot{}
+	}
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	merged := make([]uint64, len(h.bounds))
+	snap := telemetry.HistogramSnapshot{Bounds: append([]float64(nil), h.bounds...)}
+	h.r.recent(w, func(s *histSlot) {
+		for i, c := range s.counts {
+			merged[i] += c
+		}
+		snap.Sum += s.sum
+		snap.Count += s.count
+	})
+	var cum uint64
+	snap.Cumulative = make([]uint64, len(merged))
+	for i, c := range merged {
+		cum += c
+		snap.Cumulative[i] = cum
+	}
+	return snap
+}
+
+// Quantile estimates the q-quantile over the last w (0 = full window):
+// NaN when the window is empty, +Inf when the rank lands past the last
+// bound.
+func (h *WindowedHistogram) Quantile(w time.Duration, q float64) float64 {
+	return h.Window(w).Quantile(q)
+}
+
+// Count returns the observations in the last w.
+func (h *WindowedHistogram) Count(w time.Duration) uint64 {
+	return h.Window(w).Count
+}
+
+// CountSeries returns per-slot observation counts oldest→newest.
+func (h *WindowedHistogram) CountSeries(w time.Duration) []float64 {
+	if h == nil {
+		return nil
+	}
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	return h.r.series(w, func(s *histSlot) float64 { return float64(s.count) })
+}
+
+// quantileOr returns the quantile or fallback when the window is empty
+// (dashboards render 0, not NaN).
+func quantileOr(h *WindowedHistogram, w time.Duration, q, fallback float64) float64 {
+	v := h.Quantile(w, q)
+	if math.IsNaN(v) {
+		return fallback
+	}
+	return v
+}

@@ -7,6 +7,7 @@ import (
 
 	"gpucnn/internal/gpusim"
 	"gpucnn/internal/impls"
+	"gpucnn/internal/obs"
 	"gpucnn/internal/telemetry"
 )
 
@@ -67,6 +68,7 @@ func (s *Server) collect(first *request) []*request {
 // and surfaces as ErrOverloaded — backpressure instead of backlog.
 func (s *Server) dispatch(reqs []*request) {
 	s.qDepth.Set(float64(len(s.queue)))
+	s.wQDepth.Set(float64(len(s.queue)))
 	d := 0
 	min := s.load[0].Load()
 	for i := 1; i < len(s.load); i++ {
@@ -96,7 +98,8 @@ func (s *Server) runBatch(i int, b *batch) {
 	cfg := s.opts.Model
 	cfg.Batch = len(b.reqs)
 
-	bsp := s.root.Child(fmt.Sprintf("batch-%d", s.nbatch.Add(1))).
+	nb := s.nbatch.Add(1)
+	bsp := s.root.Child(fmt.Sprintf("batch-%d", nb)).
 		SetProc(i).
 		SetAttr("device", fmt.Sprint(i)).
 		SetAttr("size", fmt.Sprint(len(b.reqs)))
@@ -104,13 +107,23 @@ func (s *Server) runBatch(i int, b *batch) {
 	// batch can never leak an open span into the trace (the PR 4 bug
 	// class); the explicit End below stays the precise close.
 	defer bsp.EndIfOpen()
+	s.plane.SetOp(fmt.Sprintf("serve/dev%d/batch-%d/size-%d", i, nb, len(b.reqs)))
 
 	var sim time.Duration
 	err := s.plans.Exec(i, cfg, func(dev *gpusim.Device, p impls.Plan) error {
+		// Tee the span recorder (when tracing) with the plane's device
+		// sink (when observing): one event stream, both consumers.
+		var sink gpusim.TraceSink
 		if bsp != nil {
 			rec := telemetry.NewRecorder()
 			rec.Attach(bsp)
-			dev.SetSink(rec)
+			sink = rec
+		}
+		if s.devObs != nil {
+			sink = obs.TeeSinks(sink, s.devObs[i])
+		}
+		if sink != nil {
+			dev.SetSink(sink)
 			defer dev.SetSink(nil)
 		}
 		e0 := dev.Elapsed()
@@ -124,8 +137,11 @@ func (s *Server) runBatch(i int, b *batch) {
 	}
 
 	s.inflight.Set(float64(sumLoads(s.load)))
+	s.wInflight.Set(float64(sumLoads(s.load)))
 	s.cBatches.Inc()
+	s.wBatches.Inc()
 	s.hBatch.Observe(float64(len(b.reqs)))
+	s.wOccup.Set(float64(len(b.reqs)) / float64(s.opts.MaxBatch))
 	s.devBatches[i].Add(1)
 	labels := telemetry.Labels{"engine": s.opts.Engine.Name(), "device": fmt.Sprint(i)}
 	s.opts.Registry.Counter("serve_device_busy_seconds_total", labels).Add(sim.Seconds())
@@ -137,15 +153,19 @@ func (s *Server) runBatch(i int, b *batch) {
 		rr.QueueWait = start.Sub(r.enq)
 		rr.E2E = time.Since(r.enq)
 		s.hQueue.Observe(rr.QueueWait.Seconds())
+		s.wQueue.Observe(rr.QueueWait.Seconds())
 		if err != nil {
 			s.failed.Add(1)
 			s.cFailed.Inc()
+			s.wFailed.Inc()
 			r.done <- reqDone{err: err}
 			continue
 		}
 		s.hE2E.Observe(rr.E2E.Seconds())
+		s.wE2E.Observe(rr.E2E.Seconds())
 		s.completed.Add(1)
 		s.cImages.Inc()
+		s.wCompleted.Inc()
 		s.devImages[i].Add(1)
 		bsp.Child("request").
 			SetAttr("queue_wait", rr.QueueWait.String()).

@@ -34,6 +34,7 @@ import (
 	"gpucnn/internal/conv"
 	"gpucnn/internal/impls"
 	"gpucnn/internal/multigpu"
+	"gpucnn/internal/obs"
 	"gpucnn/internal/par"
 	"gpucnn/internal/telemetry"
 )
@@ -78,6 +79,48 @@ type Options struct {
 	// Tracer, when set, receives one root span per server with a child
 	// span per batch and grandchild per request.
 	Tracer *telemetry.Tracer
+	// Obs, when set, receives the server's rolling-window instruments
+	// (offered/admitted/shed/completed/failed counters, queue-depth and
+	// batch-occupancy gauges, e2e and queue-wait histograms, per-device
+	// throughput via sinks), a "batcher" dashboard section, and — unless
+	// SLO.Disable — a burn-rate monitor over the serving objectives.
+	Obs *obs.Plane
+	// SLO tunes the objectives registered on Obs.
+	SLO SLOConfig
+}
+
+// SLOConfig declares the serving objectives the obs monitor watches.
+// Zero values take the documented defaults.
+type SLOConfig struct {
+	// Disable skips monitor creation even when Obs is set.
+	Disable bool
+	// E2EThreshold is the end-to-end latency bound in seconds; requests
+	// slower than this burn the latency budget. Default 10ms. The bound
+	// is inserted into the windowed histogram's buckets, so the bad
+	// fraction is exact at the threshold.
+	E2EThreshold float64
+	// E2ETarget is the fraction of requests that must meet the bound.
+	// Default 0.99 (budget: 1% slow).
+	E2ETarget float64
+	// ShedMax is the tolerated shed (ErrOverloaded) fraction of offered
+	// load. Default 0.05.
+	ShedMax float64
+	// Fast/Slow are the burn-rate windows; Interval the evaluation
+	// period (obs defaults apply; Interval < 0 means manual Eval).
+	Fast, Slow, Interval time.Duration
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.E2EThreshold <= 0 {
+		c.E2EThreshold = 0.010
+	}
+	if c.E2ETarget <= 0 || c.E2ETarget >= 1 {
+		c.E2ETarget = 0.99
+	}
+	if c.ShedMax <= 0 || c.ShedMax >= 1 {
+		c.ShedMax = 0.05
+	}
+	return c
 }
 
 func (o Options) withDefaults() Options {
@@ -183,6 +226,23 @@ type Server struct {
 	cFailed   *telemetry.Counter
 	cImages   *telemetry.Counter
 	cBatches  *telemetry.Counter
+
+	// Rolling-window plane (every instrument nil-safe, so the hot path
+	// writes unconditionally whether or not Options.Obs was set).
+	plane      *obs.Plane
+	monitor    *obs.Monitor
+	devObs     []*obs.DeviceSink
+	wOffered   *obs.WindowedCounter
+	wAdmitted  *obs.WindowedCounter
+	wShed      *obs.WindowedCounter
+	wCompleted *obs.WindowedCounter
+	wFailed    *obs.WindowedCounter
+	wBatches   *obs.WindowedCounter
+	wQDepth    *obs.WindowedGauge
+	wInflight  *obs.WindowedGauge
+	wOccup     *obs.WindowedGauge
+	wE2E       *obs.WindowedHistogram
+	wQueue     *obs.WindowedHistogram
 }
 
 // New builds a server over the cluster. Call Start before Submit.
@@ -234,8 +294,85 @@ func New(cluster *multigpu.Cluster, opts Options) (*Server, error) {
 			SetAttr("engine", opts.Engine.Name()).
 			SetAttr("devices", fmt.Sprint(n))
 	}
+	s.wireObs(n)
 	return s, nil
 }
+
+// serveLatencyBuckets are ms-aligned e2e bounds; the SLO threshold is
+// spliced in so FractionAbove is exact at the objective's boundary.
+func serveLatencyBuckets(threshold float64) []float64 {
+	out := []float64{
+		1e-4, 2.5e-4, 5e-4, 1e-3, 2e-3, 4e-3, 8e-3,
+		1.6e-2, 3.2e-2, 6.4e-2, 0.128, 0.256, 0.512, 1.024,
+	}
+	for _, b := range out {
+		if b == threshold {
+			return out
+		}
+	}
+	return append(out, threshold) // Plane.Histogram sorts
+}
+
+// wireObs registers the windowed instruments, the batcher dashboard
+// section, per-device sinks, and the SLO monitor on Options.Obs. With
+// a nil plane every instrument comes back nil and no-ops.
+func (s *Server) wireObs(devices int) {
+	p := s.opts.Obs
+	s.plane = p
+	slo := s.opts.SLO.withDefaults()
+	s.wOffered = p.Counter("serve.offered")
+	s.wAdmitted = p.Counter("serve.admitted")
+	s.wShed = p.Counter("serve.shed")
+	s.wCompleted = p.Counter("serve.completed")
+	s.wFailed = p.Counter("serve.failed")
+	s.wBatches = p.Counter("serve.batches")
+	s.wQDepth = p.Gauge("serve.queue_depth")
+	s.wInflight = p.Gauge("serve.inflight_images")
+	s.wOccup = p.Gauge("serve.batch_occupancy")
+	s.wE2E = p.Histogram("serve.e2e_seconds", serveLatencyBuckets(slo.E2EThreshold))
+	s.wQueue = p.Histogram("serve.queue_wait_seconds", serveLatencyBuckets(slo.E2EThreshold))
+	if p == nil {
+		return
+	}
+	s.devObs = make([]*obs.DeviceSink, devices)
+	for i := range s.devObs {
+		s.devObs[i] = obs.NewDeviceSink(p, fmt.Sprint(i))
+	}
+	p.Section("batcher", func() map[string]any {
+		sec := map[string]any{
+			"queue_len":    len(s.queue),
+			"queue_cap":    cap(s.queue),
+			"max_batch":    s.opts.MaxBatch,
+			"max_wait":     s.opts.MaxWait.String(),
+			"device_queue": s.opts.DeviceQueue,
+			"engine":       s.opts.Engine.Name(),
+		}
+		for i := range s.devq {
+			sec[fmt.Sprintf("dev%d_queued_batches", i)] = len(s.devq[i])
+			sec[fmt.Sprintf("dev%d_outstanding_images", i)] = s.load[i].Load()
+		}
+		return sec
+	})
+	if !slo.Disable {
+		s.monitor = obs.NewMonitor(obs.MonitorConfig{
+			Clock: p.Clock(), Fast: slo.Fast, Slow: slo.Slow, Interval: slo.Interval,
+		},
+			obs.LatencyObjective{
+				ObjName: "e2e-p99", H: s.wE2E,
+				Threshold: slo.E2EThreshold, Target: slo.E2ETarget,
+			},
+			obs.RateObjective{
+				ObjName: "shed-rate", Bad: s.wShed, Total: s.wOffered,
+				MaxRate: slo.ShedMax,
+			},
+		)
+		p.Watch(s.monitor)
+	}
+}
+
+// Monitor returns the SLO monitor, or nil when Options.Obs was unset
+// or SLO.Disable was set.
+func (s *Server) Monitor() *obs.Monitor { return s.monitor }
 
 // batchBuckets covers 1..max in powers of two.
 func batchBuckets(max int) []float64 {
@@ -276,6 +413,7 @@ func (s *Server) Submit(ctx context.Context) (Result, error) {
 		s.mu.RUnlock()
 		return Result{}, ErrClosed
 	}
+	s.wOffered.Inc()
 	select {
 	case s.queue <- r:
 		s.mu.RUnlock()
@@ -283,11 +421,14 @@ func (s *Server) Submit(ctx context.Context) (Result, error) {
 		s.mu.RUnlock()
 		s.rejected.Add(1)
 		s.cRejected.Inc()
+		s.wShed.Inc()
 		return Result{}, ErrOverloaded
 	}
 	s.submitted.Add(1)
 	s.cRequests.Inc()
+	s.wAdmitted.Inc()
 	s.qDepth.Set(float64(len(s.queue)))
+	s.wQDepth.Set(float64(len(s.queue)))
 	select {
 	case d := <-r.done:
 		return d.res, d.err
@@ -318,6 +459,8 @@ func (s *Server) Close() {
 	s.wg.Wait()
 	s.plans.Release()
 	s.root.End()
+	s.monitor.Stop()
+	s.plane.Unwatch(s.monitor)
 }
 
 // Stats snapshots the server counters.

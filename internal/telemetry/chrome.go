@@ -51,6 +51,23 @@ func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 // host↔device transfer carries a flow arrow to the first kernel that
 // runs after it lands.
 func (t *Tracer) WriteChrome(w io.Writer) error {
+	return t.WriteChromeWindow(w, 0, MaxSimTime)
+}
+
+// MaxSimTime is the open upper bound for WriteChromeWindow: a window
+// ending at MaxSimTime keeps everything after its start.
+const MaxSimTime = time.Duration(1<<63 - 1)
+
+// WriteChromeWindow is WriteChrome restricted to the half-open
+// simulated-time window [since, until): only spans and leaf events
+// overlapping the window are exported (overlapping slices are kept
+// whole, not clipped, so nesting stays intact). cmd/tracedump's
+// -since/-last flags and the obs dashboards share these window
+// semantics.
+func (t *Tracer) WriteChromeWindow(w io.Writer, since, until time.Duration) error {
+	overlaps := func(start, end time.Duration) bool {
+		return end >= since && start < until
+	}
 	var out []chromeEvent
 	procs := map[int]bool{}
 	type leaf struct {
@@ -75,18 +92,27 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 			events := append([]Event(nil), s.events...)
 			s.mu.Unlock()
 
-			procs[pid] = true
 			if end < start {
 				end = start
 			}
-			dur := us(end - start)
-			out = append(out, chromeEvent{
-				Name: name, Cat: "span", Ph: "X",
-				Ts: us(start), Dur: &dur,
-				Pid: pid, Tid: tidCompute, Args: args,
-			})
+			kept := false
+			if overlaps(start, end) {
+				kept = true
+				dur := us(end - start)
+				out = append(out, chromeEvent{
+					Name: name, Cat: "span", Ph: "X",
+					Ts: us(start), Dur: &dur,
+					Pid: pid, Tid: tidCompute, Args: args,
+				})
+			}
 			for _, e := range events {
-				leaves = append(leaves, leaf{e, pid})
+				if overlaps(e.Start, e.Start+e.Dur) {
+					kept = true
+					leaves = append(leaves, leaf{e, pid})
+				}
+			}
+			if kept {
+				procs[pid] = true
 			}
 		})
 	}
@@ -154,6 +180,11 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		)
 	}
 
+	if out == nil {
+		// A window that filters everything still yields a loadable
+		// trace file: traceEvents must be [], not null.
+		out = []chromeEvent{}
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(chromeFile{DisplayTimeUnit: "ns", TraceEvents: out})
 }

@@ -131,6 +131,13 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 //	/metrics.json  JSON snapshot
 //	/trace         Chrome trace-event JSON of the span forest so far
 func Handler(r *Registry, t *Tracer) http.Handler {
+	return HandlerMux(r, t)
+}
+
+// HandlerMux is Handler returning the concrete mux, so layers above
+// telemetry (internal/obs's /debug/dash dashboard) can mount additional
+// routes on the same endpoint.
+func HandlerMux(r *Registry, t *Tracer) *http.ServeMux {
 	mux := http.NewServeMux()
 	metrics := func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Query().Get("format") == "json" {

@@ -253,6 +253,58 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile through a fresh Snapshot. All
+// quantile math runs on the snapshot's copied bucket array — never on
+// the live buckets — so concurrent Observe calls can at worst make the
+// estimate one observation stale, not inconsistent.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the bucketed
+// counts: the upper bound of the bucket holding the q-th observation,
+// Prometheus histogram_quantile style. An empty snapshot returns NaN;
+// a rank above the last finite bound returns +Inf (the observation
+// landed in the overflow bucket, beyond the instrumented range).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		q = math.SmallestNonzeroFloat64
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	for i, c := range s.Cumulative {
+		if c >= rank {
+			return s.Bounds[i]
+		}
+	}
+	return math.Inf(1)
+}
+
+// FractionAbove estimates the fraction of observations strictly above
+// v, resolved at bucket granularity: observations in the bucket whose
+// upper bound is the smallest bound ≥ v count as "at or below v".
+// Callers alerting on latency thresholds should align the threshold
+// with a bucket bound to avoid the quantisation. Returns 0 for an
+// empty snapshot.
+func (s HistogramSnapshot) FractionAbove(v float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	below := s.Count // v beyond the last bound: only the overflow bucket is above, and it is unbounded — count nothing as above
+	for i, b := range s.Bounds {
+		if b >= v {
+			below = s.Cumulative[i]
+			break
+		}
+	}
+	return float64(s.Count-below) / float64(s.Count)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	h.mu.Lock()

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotQuantile(t *testing.T) {
+	h := NewRegistry().Histogram("q", nil, []float64{1, 2, 4, 8})
+	// 10 observations: 4 in ≤1, 3 in ≤2, 2 in ≤4, 1 in ≤8.
+	for _, v := range []float64{0.5, 0.5, 0.9, 1, 1.5, 2, 2, 3, 4, 7} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	cases := []struct{ q, want float64 }{
+		{0.10, 1}, {0.40, 1}, {0.50, 2}, {0.70, 2}, {0.90, 4}, {0.95, 8}, {1, 8},
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := h.Quantile(0.5); got != 2 {
+		t.Errorf("Histogram.Quantile(0.5) = %v, want 2", got)
+	}
+}
+
+func TestSnapshotQuantileEdges(t *testing.T) {
+	h := NewRegistry().Histogram("edges", nil, []float64{1, 2})
+	if !math.IsNaN(h.Quantile(0.99)) {
+		t.Fatal("quantile of an empty histogram must be NaN")
+	}
+	h.Observe(100) // lands beyond the last bound
+	if got := h.Quantile(0.99); !math.IsInf(got, 1) {
+		t.Fatalf("quantile in the overflow bucket = %v, want +Inf", got)
+	}
+}
+
+func TestSnapshotFractionAbove(t *testing.T) {
+	h := NewRegistry().Histogram("fa", nil, []float64{0.001, 0.002, 0.004})
+	for _, v := range []float64{0.0005, 0.0015, 0.003, 0.01} {
+		h.Observe(v) // one per bucket, one overflow
+	}
+	s := h.Snapshot()
+	cases := []struct{ v, want float64 }{
+		{0.001, 0.75}, // everything past the ≤1ms bucket
+		{0.002, 0.5},
+		{0.004, 0.25}, // only the overflow observation
+		{0.5, 0},      // beyond the instrumented range
+	}
+	for _, c := range cases {
+		if got := s.FractionAbove(c.v); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("FractionAbove(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	if got := (HistogramSnapshot{}).FractionAbove(1); got != 0 {
+		t.Errorf("empty FractionAbove = %v, want 0", got)
+	}
+}
+
+// TestHistogramSnapshotRace is the -race regression for histogram
+// snapshots under concurrent writes: quantiles must come from a copied
+// bucket array, never the live one, and every snapshot must be
+// internally consistent (cumulative counts non-decreasing and bounded
+// by Count) no matter how hard Observe hammers the histogram.
+func TestHistogramSnapshotRace(t *testing.T) {
+	h := NewRegistry().Histogram("race", nil, ExpBuckets(1e-6, 2, 16))
+	const writers, perWriter = 8, 2000
+
+	var writersWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(seed float64) {
+			defer writersWG.Done()
+			v := 1e-6
+			for i := 0; i < perWriter; i++ {
+				h.Observe(v * seed)
+				v *= 1.001
+			}
+		}(float64(w + 1))
+	}
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var prev uint64
+			for i, c := range s.Cumulative {
+				if c < prev {
+					t.Errorf("snapshot cumulative decreases at bucket %d: %d < %d", i, c, prev)
+					return
+				}
+				prev = c
+			}
+			if prev > s.Count {
+				t.Errorf("snapshot finite buckets hold %d > Count %d", prev, s.Count)
+				return
+			}
+			if q := s.Quantile(0.99); s.Count > 0 && math.IsNaN(q) {
+				t.Error("non-empty snapshot produced NaN quantile")
+				return
+			}
+		}
+	}()
+	writersWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("lost observations: count %d, want %d", got, writers*perWriter)
+	}
+}
