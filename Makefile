@@ -34,5 +34,5 @@ bench-kernels-quick:
 # rejection fast path. Summarised into BENCH_serve.json.
 .PHONY: serve-bench
 serve-bench:
-	go test ./internal/serve -run '^$$' -bench 'BenchmarkServe|BenchmarkSubmitReject' -count=5 -timeout 30m | tee bench_serve.txt
+	go test ./internal/serve -run '^$$' -bench 'BenchmarkServe|BenchmarkSubmitReject|BenchmarkFleet' -count=5 -timeout 30m | tee bench_serve.txt
 	go run ./cmd/benchjson -in bench_serve.txt -note "serving-path benchmark snapshot (medians over -count runs)" -out BENCH_serve.json

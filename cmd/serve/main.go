@@ -12,6 +12,15 @@
 // curl it mid-run. -linger keeps the dashboard up after the table so
 // the final minute of history stays inspectable.
 //
+// With -fleet the command instead sweeps a sharded serving fleet:
+// for each initial replica count in -shards it builds a pool of
+// replicas (each a full server over a private cluster shard), routes
+// an open-loop trace-driven workload (-trace ramp|diurnal|burst|steady)
+// through the front door (-route hash|least-loaded), lets the
+// SLO-burn-driven autoscaler grow and shrink the pool, and renders the
+// throughput-vs-p99 frontier with the replica range each row visited
+// plus the autoscaler's decision log.
+//
 // Usage:
 //
 //	serve [-devices 4] [-engine cuDNN] [-clients 64] [-requests 2000]
@@ -19,6 +28,9 @@
 //	      [-input 32] [-filters 32] [-kernel 5] [-metrics out.json]
 //	      [-dash :8080] [-linger] [-profiles dir]
 //	      [-slo-p99 10ms] [-slo-target 0.99] [-slo-shedmax 0.05]
+//	serve -fleet [-shards 1,2,4] [-shard-devices 2] [-route hash]
+//	      [-trace ramp] [-base-rps 2000] [-peak-rps 60000]
+//	      [-trace-dur 4s] [-trace-seed 1] [-as-max 0] [-as-interval 250ms]
 package main
 
 import (
@@ -31,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -67,6 +80,17 @@ func main() {
 	sloP99 := flag.Duration("slo-p99", 10*time.Millisecond, "SLO objective: e2e p99 latency threshold")
 	sloTarget := flag.Float64("slo-target", 0.99, "SLO objective: fraction of requests that must land under -slo-p99")
 	sloShed := flag.Float64("slo-shedmax", 0.05, "SLO objective: maximum tolerated shed (rejection) rate")
+	fleetMode := flag.Bool("fleet", false, "sweep a sharded serving fleet under a trace-driven open loop instead of the policy table")
+	shards := flag.String("shards", "1,2,4", "with -fleet: comma-separated initial replica counts, one frontier row each")
+	shardDevices := flag.Int("shard-devices", 2, "with -fleet: simulated GPUs per replica shard")
+	route := flag.String("route", "hash", "with -fleet: front-door routing (hash or least-loaded)")
+	traceShape := flag.String("trace", "ramp", "with -fleet: arrival curve (steady, ramp, diurnal or burst)")
+	baseRPS := flag.Float64("base-rps", 2000, "with -fleet: trace base arrival rate")
+	peakRPS := flag.Float64("peak-rps", 60000, "with -fleet: trace peak arrival rate")
+	traceDur := flag.Duration("trace-dur", 4*time.Second, "with -fleet: trace duration per row")
+	traceSeed := flag.Int64("trace-seed", 1, "with -fleet: trace RNG seed (same seed, same trace)")
+	asMax := flag.Int("as-max", 0, "with -fleet: autoscaler max replicas per row (0 = 2× the row's initial count)")
+	asInterval := flag.Duration("as-interval", 250*time.Millisecond, "with -fleet: autoscaler tick interval")
 	flag.Parse()
 
 	eng, err := impls.ByName(*engine)
@@ -122,6 +146,24 @@ func main() {
 			defer prof.Stop()
 			plane.AttachProfiler(prof)
 		}
+	}
+
+	if *fleetMode {
+		runFleetSweep(ctx, fleetSweep{
+			plane: plane, liveReg: &liveReg,
+			engine: eng, model: model, slo: slo,
+			shards: *shards, shardDevices: *shardDevices,
+			routeName: *route, traceName: *traceShape,
+			baseRPS: *baseRPS, peakRPS: *peakRPS,
+			dur: *traceDur, seed: *traceSeed,
+			maxBatch: *maxBatch, maxWait: 2 * time.Millisecond, queueCap: *queueCap,
+			timeScale: *timeScale, asMax: *asMax, asInterval: *asInterval,
+		})
+		if *dashAddr != "" && *linger && ctx.Err() == nil {
+			fmt.Printf("\ndashboard still live at http://%s/debug/dash — ctrl-C to exit\n", *dashAddr)
+			<-ctx.Done()
+		}
+		return
 	}
 
 	type policy struct {
@@ -225,11 +267,125 @@ func worstState(m *obs.Monitor) string {
 	if m == nil {
 		return "—"
 	}
-	worst := obs.OK
-	for _, o := range m.Status() {
-		if st := m.State(o.Name); st > worst {
-			worst = st
+	return m.Worst().String()
+}
+
+// fleetSweep carries the -fleet mode's resolved configuration.
+type fleetSweep struct {
+	plane   *obs.Plane
+	liveReg *atomic.Pointer[telemetry.Registry]
+	engine  impls.Engine
+	model   conv.Config
+	slo     serve.SLOConfig
+
+	shards       string
+	shardDevices int
+	routeName    string
+	traceName    string
+
+	baseRPS, peakRPS float64
+	dur              time.Duration
+	seed             int64
+
+	maxBatch, queueCap int
+	maxWait            time.Duration
+	timeScale          float64
+	asMax              int
+	asInterval         time.Duration
+}
+
+// runFleetSweep renders the throughput-vs-p99 frontier: one row per
+// initial replica count, each replaying the same seeded trace through
+// its own fleet while the autoscaler reacts to the fleet monitor's
+// burn states.
+func runFleetSweep(ctx context.Context, cfg fleetSweep) {
+	routePolicy, err := serve.RoutePolicyByName(cfg.routeName)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	shape, err := serve.TraceShapeByName(cfg.traceName)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	var counts []int
+	for _, s := range strings.Split(cfg.shards, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			log.Fatalf("serve: bad -shards entry %q", s)
+		}
+		counts = append(counts, n)
+	}
+
+	trace := serve.TraceOptions{
+		Shape: shape, BaseRPS: cfg.baseRPS, PeakRPS: cfg.peakRPS,
+		Duration: cfg.dur, Seed: cfg.seed, HeavyTailP: 0.05,
+	}
+	perImage := cfg.model.WithDefaults()
+	perImage.Batch = 1
+	fmt.Printf("Sharded serving fleet — SLO-aware autoscaling under an open-loop %s trace\n", shape)
+	fmt.Printf("model %v · engine %s · %d GPUs per shard · route %s · %.0f→%.0f RPS over %v (seed %d)\n\n",
+		perImage, cfg.engine.Name(), cfg.shardDevices, routePolicy, cfg.baseRPS, cfg.peakRPS, cfg.dur, cfg.seed)
+	fmt.Printf("%-7s %-10s %-10s %-10s %-10s %-10s %-9s %-6s %s\n",
+		"shards", "replicas", "offer/s", "served/s", "p50", "p99", "shed", "slo", "scale events")
+
+	type rowLog struct {
+		n      int
+		events []serve.ScaleEvent
+	}
+	var logs []rowLog
+	for _, n := range counts {
+		reg := telemetry.NewRegistry()
+		cfg.liveReg.Store(reg)
+		maxReplicas := cfg.asMax
+		if maxReplicas <= 0 {
+			maxReplicas = 2 * n
+		}
+		opts := serve.FleetOptions{
+			Replicas: n, ShardDevices: cfg.shardDevices,
+			Server: serve.Options{
+				Engine: cfg.engine, Model: cfg.model,
+				MaxBatch: cfg.maxBatch, MaxWait: cfg.maxWait, QueueCap: cfg.queueCap,
+				TimeScale: cfg.timeScale, Registry: reg, Obs: cfg.plane,
+			},
+			Route: routePolicy, SLO: cfg.slo,
+			Autoscale: serve.AutoscaleConfig{
+				Min: n, Max: maxReplicas, Interval: cfg.asInterval,
+				ScaleOutAfter: 2, ScaleInAfter: 6, Cooldown: 2,
+			},
+		}
+		f, err := serve.NewFleet(opts)
+		if err != nil {
+			log.Fatalf("serve: fleet[%d]: %v", n, err)
+		}
+		rep := serve.RunTrace(ctx, f, trace)
+		events := f.Autoscaler().Events()
+		slo := worstState(f.Monitor())
+		f.Close()
+
+		shed := "—"
+		if rep.Offered > 0 {
+			shed = fmt.Sprintf("%.1f%%", 100*float64(rep.Shed)/float64(rep.Offered))
+		}
+		fmt.Printf("%-7d %-10s %-10.0f %-10.0f %-10v %-10v %-9s %-6s %d\n",
+			n, fmt.Sprintf("%d→%d", rep.ReplicaMin, rep.ReplicaMax),
+			rep.OfferedRPS, rep.ThroughputRPS,
+			rep.P50.Round(time.Microsecond), rep.P99.Round(time.Microsecond),
+			shed, slo, len(events))
+		logs = append(logs, rowLog{n, events})
+		if ctx.Err() != nil {
+			break
 		}
 	}
-	return worst.String()
+
+	fmt.Printf("\nreplicas = fleet size range the autoscaler visited during the trace;\n")
+	fmt.Printf("shed counts server rejections plus open-loop client drops over offered arrivals.\n")
+	for _, l := range logs {
+		if len(l.events) == 0 {
+			continue
+		}
+		fmt.Printf("\nfleet[%d] autoscaler log:\n", l.n)
+		for _, e := range l.events {
+			fmt.Printf("  %s %s\n", e.At.Format("15:04:05.000"), e)
+		}
+	}
 }

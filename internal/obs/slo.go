@@ -280,6 +280,41 @@ func (m *Monitor) State(name string) State {
 	return m.states[name]
 }
 
+// Worst returns the most severe current state across the monitor's
+// objectives — the single consumable signal for components that key
+// decisions on SLO health (the serve autoscaler scales out on a
+// sustained non-OK Worst). OK for a nil monitor or one with no
+// objectives.
+func (m *Monitor) Worst() State {
+	if m == nil {
+		return OK
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	worst := OK
+	for _, st := range m.states {
+		if st > worst {
+			worst = st
+		}
+	}
+	return worst
+}
+
+// States returns a copy of the per-objective state map (nil for a nil
+// monitor).
+func (m *Monitor) States() map[string]State {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]State, len(m.states))
+	for k, v := range m.states {
+		out[k] = v
+	}
+	return out
+}
+
 // Transitions returns the recorded state changes, oldest first.
 func (m *Monitor) Transitions() []Transition {
 	m.mu.Lock()

@@ -237,3 +237,47 @@ func TestMonitorCallbacksAndStatus(t *testing.T) {
 	m.Stop()
 	m.Stop() // idempotent
 }
+
+// TestMonitorWorstAndStates covers the consumption API added for the
+// serve autoscaler: Worst is the max across objectives and States a
+// safe copy; both are nil-tolerant.
+func TestMonitorWorstAndStates(t *testing.T) {
+	fc := NewFakeClock(t0)
+	p := testPlane(fc, time.Minute, time.Second)
+	bad, total := p.Counter("bad"), p.Counter("total")
+	lat := p.Histogram("e2e", []float64{0.001, 0.008})
+	m := NewMonitor(MonitorConfig{Clock: fc, Fast: 5 * time.Second, Slow: 10 * time.Second},
+		LatencyObjective{ObjName: "lat", H: lat, Threshold: 0.008, Target: 0.99},
+		RateObjective{ObjName: "shed", Bad: bad, Total: total, MaxRate: 0.05},
+	)
+	defer m.Stop()
+
+	if got := m.Worst(); got != OK {
+		t.Fatalf("fresh monitor Worst = %v, want OK", got)
+	}
+	// Burn only the shed objective into PAGE; lat stays OK, so Worst
+	// must surface the max, not the first.
+	for i := 0; i < 12; i++ {
+		total.Add(100)
+		bad.Add(50)
+		lat.Observe(0.001) // comfortably inside the latency bound
+		fc.Advance(time.Second)
+		m.Eval()
+	}
+	if got := m.Worst(); got != PAGE {
+		t.Fatalf("Worst = %v, want PAGE", got)
+	}
+	st := m.States()
+	if st["lat"] != OK || st["shed"] != PAGE {
+		t.Fatalf("States = %v", st)
+	}
+	st["shed"] = OK // mutating the copy must not touch the monitor
+	if m.State("shed") != PAGE {
+		t.Fatal("States returned the monitor's internal map")
+	}
+
+	var nilM *Monitor
+	if nilM.Worst() != OK || nilM.States() != nil {
+		t.Fatal("nil monitor accessors not safe")
+	}
+}

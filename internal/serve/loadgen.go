@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -121,6 +122,9 @@ func RunLoad(ctx context.Context, s *Server, opts LoadOptions) Report {
 					return
 				default:
 					failed.Add(1)
+					if opts.Requests > 0 {
+						remaining.Add(1) // the quota counts completions
+					}
 				}
 			}
 		})
@@ -160,14 +164,14 @@ func RunLoad(ctx context.Context, s *Server, opts LoadOptions) Report {
 }
 
 // percentile returns the q-quantile (0 < q ≤ 1) by nearest-rank over a
-// copy of the sample.
+// copy of the sample: the ⌈n·q⌉-th smallest value.
 func percentile(xs []time.Duration, q float64) time.Duration {
 	if len(xs) == 0 {
 		return 0
 	}
 	s := append([]time.Duration(nil), xs...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	i := int(float64(len(s))*q+0.5) - 1
+	i := int(math.Ceil(float64(len(s))*q)) - 1
 	if i < 0 {
 		i = 0
 	}

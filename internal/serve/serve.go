@@ -46,6 +46,45 @@ var ErrOverloaded = errors.New("serve: server overloaded, request rejected")
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("serve: server closed")
 
+// Priority is a request's admission class. Under queue pressure the
+// classes shed in order: batch first, then standard, and interactive
+// only when the queue is completely full — so the bounded admission
+// queue degrades offline traffic before user-facing traffic.
+type Priority int
+
+const (
+	// PriorityBatch is offline/backfill traffic: shed first.
+	PriorityBatch Priority = iota
+	// PriorityStandard is ordinary traffic.
+	PriorityStandard
+	// PriorityInteractive is user-facing traffic: sheds only when the
+	// queue is full. Submit uses this class.
+	PriorityInteractive
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PriorityBatch:
+		return "batch"
+	case PriorityStandard:
+		return "standard"
+	case PriorityInteractive:
+		return "interactive"
+	}
+	return fmt.Sprintf("Priority(%d)", int(p))
+}
+
+// index clamps p onto the per-class instrument arrays.
+func (p Priority) index() int {
+	if p < PriorityBatch {
+		return int(PriorityBatch)
+	}
+	if p > PriorityInteractive {
+		return int(PriorityInteractive)
+	}
+	return int(p)
+}
+
 // Options configures a Server. Zero values take the documented
 // defaults.
 type Options struct {
@@ -201,9 +240,9 @@ type Server struct {
 	cluster *multigpu.Cluster
 	plans   *multigpu.PlanCache
 
-	mu      sync.RWMutex // guards closed and the queue send
+	mu      sync.RWMutex // guards closed, started, and the queue send
 	closed  bool
-	started atomic.Bool
+	started bool
 
 	queue chan *request
 	devq  []chan *batch
@@ -243,6 +282,7 @@ type Server struct {
 	wOccup     *obs.WindowedGauge
 	wE2E       *obs.WindowedHistogram
 	wQueue     *obs.WindowedHistogram
+	wShedClass [3]*obs.WindowedCounter // per Priority class
 }
 
 // New builds a server over the cluster. Call Start before Submit.
@@ -331,6 +371,9 @@ func (s *Server) wireObs(devices int) {
 	s.wOccup = p.Gauge("serve.batch_occupancy")
 	s.wE2E = p.Histogram("serve.e2e_seconds", serveLatencyBuckets(slo.E2EThreshold))
 	s.wQueue = p.Histogram("serve.queue_wait_seconds", serveLatencyBuckets(slo.E2EThreshold))
+	for pr := PriorityBatch; pr <= PriorityInteractive; pr++ {
+		s.wShedClass[pr.index()] = p.Counter("serve.shed_" + pr.String())
+	}
 	if p == nil {
 		return
 	}
@@ -390,11 +433,17 @@ func (s *Server) Options() Options { return s.opts }
 func (s *Server) Cluster() *multigpu.Cluster { return s.cluster }
 
 // Start launches the batcher and one worker per device. It is a no-op
-// when called twice.
+// when called twice or after Close. The started/closed transition is
+// serialized under s.mu: a Start racing a Close can never spawn a
+// batchLoop that drains the queue alongside Close's manual drain (or
+// Add to the WaitGroup while Close is already Waiting on it).
 func (s *Server) Start() {
-	if !s.started.CompareAndSwap(false, true) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
 		return
 	}
+	s.started = true
 	s.wg.Add(1 + len(s.devq))
 	par.Go("serve.batchLoop", s.batchLoop)
 	for i := range s.devq {
@@ -402,11 +451,19 @@ func (s *Server) Start() {
 	}
 }
 
-// Submit admits one single-image request and blocks until it is served,
-// the server rejects it, or ctx is cancelled. Cancellation abandons the
-// wait but not the work: an admitted request still occupies its batch
-// slot.
+// Submit admits one single-image request at interactive priority and
+// blocks until it is served, the server rejects it, or ctx is
+// cancelled. Cancellation abandons the wait but not the work: an
+// admitted request still occupies its batch slot.
 func (s *Server) Submit(ctx context.Context) (Result, error) {
+	return s.SubmitPriority(ctx, PriorityInteractive)
+}
+
+// SubmitPriority is Submit with an explicit priority class: lower
+// classes are admitted only while the queue is below their depth
+// limit, so under ErrOverloaded pressure batch traffic sheds first,
+// then standard, and interactive keeps the full queue capacity.
+func (s *Server) SubmitPriority(ctx context.Context, pr Priority) (Result, error) {
 	r := &request{enq: time.Now(), done: make(chan reqDone, 1)}
 	s.mu.RLock()
 	if s.closed {
@@ -414,14 +471,20 @@ func (s *Server) Submit(ctx context.Context) (Result, error) {
 		return Result{}, ErrClosed
 	}
 	s.wOffered.Inc()
-	select {
-	case s.queue <- r:
-		s.mu.RUnlock()
-	default:
-		s.mu.RUnlock()
+	admitted := false
+	if len(s.queue) < s.admitLimit(pr) {
+		select {
+		case s.queue <- r:
+			admitted = true
+		default:
+		}
+	}
+	s.mu.RUnlock()
+	if !admitted {
 		s.rejected.Add(1)
 		s.cRejected.Inc()
 		s.wShed.Inc()
+		s.wShedClass[pr.index()].Inc()
 		return Result{}, ErrOverloaded
 	}
 	s.submitted.Add(1)
@@ -437,9 +500,36 @@ func (s *Server) Submit(ctx context.Context) (Result, error) {
 	}
 }
 
+// admitLimit returns the queue depth at which class pr stops being
+// admitted: batch traffic may fill half the queue, standard 7/8 of it,
+// interactive all of it — the reserved headroom is what the higher
+// classes ride out a burst on.
+func (s *Server) admitLimit(pr Priority) int {
+	c := cap(s.queue)
+	switch {
+	case pr <= PriorityBatch:
+		return c / 2
+	case pr == PriorityStandard:
+		return c - c/8
+	default:
+		return c
+	}
+}
+
+// QueueDepth returns the instantaneous admission-queue length.
+func (s *Server) QueueDepth() int { return len(s.queue) }
+
+// Load returns the server's instantaneous load proxy: queued requests
+// plus images outstanding on devices — the quantity a least-loaded
+// front-door router compares.
+func (s *Server) Load() int64 { return int64(len(s.queue)) + sumLoads(s.load) }
+
 // Close stops admission, drains every already-admitted request, waits
 // for the workers, and releases the cached device plans. Safe to call
-// twice.
+// twice, and safe against a concurrent Start: started is read under
+// the same critical section that publishes closed, so either the Start
+// happened first (its batchLoop drains the closed queue) or it is a
+// no-op and Close's manual drain is the only consumer.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -448,9 +538,10 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
+	started := s.started
 	close(s.queue)
 	s.mu.Unlock()
-	if !s.started.Load() {
+	if !started {
 		// Never started: no batcher to drain admitted requests.
 		for r := range s.queue {
 			r.done <- reqDone{err: ErrClosed}

@@ -11,6 +11,7 @@ import (
 	"gpucnn/internal/gpusim"
 	"gpucnn/internal/impls"
 	"gpucnn/internal/multigpu"
+	"gpucnn/internal/obs"
 	"gpucnn/internal/telemetry"
 )
 
@@ -270,6 +271,112 @@ func TestDynamicBatchingBeatsBatchOne(t *testing.T) {
 	if limit := 2*time.Millisecond + 500*time.Millisecond; dyn.QueueP99 > limit {
 		t.Fatalf("dynamic p99 queue wait %v exceeds bound %v", dyn.QueueP99, limit)
 	}
+}
+
+// TestStartAfterCloseIsNoop: once Close has run, Start must not spawn
+// workers over the closed queue.
+func TestStartAfterCloseIsNoop(t *testing.T) {
+	s := newTestServer(t, 1, Options{MaxBatch: 4, MaxWait: time.Millisecond})
+	s.Close()
+	s.Start()
+	if _, err := s.Submit(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close+start: %v, want ErrClosed", err)
+	}
+	done := make(chan struct{})
+	go func() { s.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("second Close hung: Start-after-Close spawned workers")
+	}
+}
+
+// TestStartCloseRaceStress is the regression test for the Close/Start
+// race: Close used to read started *after* closing the queue, so a
+// Start slipping in between could spawn a batchLoop draining the queue
+// alongside Close's manual drain (and Add to the WaitGroup Close was
+// already Waiting on). Run under -race in the tier-1 gate; every
+// interleaving must resolve every request exactly once and shut down
+// cleanly.
+func TestStartCloseRaceStress(t *testing.T) {
+	for iter := 0; iter < 30; iter++ {
+		s, err := New(multigpu.New(1, gpusim.TeslaK40c()), Options{
+			Model: testModel(), MaxBatch: 4, MaxWait: 200 * time.Microsecond,
+			QueueCap: 8, TimeScale: -1, Registry: telemetry.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		gate := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-gate
+				_, _ = s.Submit(ctx) // served, ErrClosed or ErrOverloaded — all fine
+			}()
+		}
+		wg.Add(2)
+		go func() { defer wg.Done(); <-gate; s.Start() }()
+		go func() { defer wg.Done(); <-gate; s.Close() }()
+		close(gate)
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(20 * time.Second):
+			t.Fatalf("iter %d: Start/Close race deadlocked the server", iter)
+		}
+		cancel()
+		s.Close()
+	}
+}
+
+// TestPrioritySheddingOrder: with the batcher withheld the queue fills
+// deterministically, and the admission limits must shed batch traffic
+// at half capacity, standard at 7/8, and interactive only when full.
+func TestPrioritySheddingOrder(t *testing.T) {
+	plane := obs.NewPlane(obs.Options{})
+	s := newTestServer(t, 1, Options{
+		MaxBatch: 4, QueueCap: 16, TimeScale: -1,
+		Obs: plane, SLO: SLOConfig{Interval: -1},
+	})
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel() // admitted submits return immediately; queued slots persist
+
+	fill := func(n int, pr Priority) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if _, err := s.SubmitPriority(cancelled, pr); !errors.Is(err, context.Canceled) {
+				t.Fatalf("fill at depth %d class %v: %v", len(s.queue), pr, err)
+			}
+		}
+	}
+
+	fill(8, PriorityInteractive) // depth 8 = cap/2: batch limit reached
+	if _, err := s.SubmitPriority(cancelled, PriorityBatch); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("batch at half-full queue: %v, want ErrOverloaded", err)
+	}
+	fill(6, PriorityStandard) // depth 14 = cap−cap/8: standard limit
+	if _, err := s.SubmitPriority(cancelled, PriorityStandard); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("standard at 7/8-full queue: %v, want ErrOverloaded", err)
+	}
+	fill(2, PriorityInteractive) // depth 16: full
+	if _, err := s.SubmitPriority(cancelled, PriorityInteractive); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("interactive at full queue: %v, want ErrOverloaded", err)
+	}
+
+	for pr, want := range map[Priority]float64{
+		PriorityBatch: 1, PriorityStandard: 1, PriorityInteractive: 1,
+	} {
+		name := "serve.shed_" + pr.String()
+		if got := plane.Counter(name).Total(); got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	s.Start() // drain the queued requests before Cleanup closes
 }
 
 // shapeLimitedEngine rejects batch sizes below 32 (the cuda-convnet2
