@@ -28,6 +28,17 @@ bench-kernels:
 bench-kernels-quick:
 	go test ./internal/gemm -run '^$$' -bench 'BenchmarkBlockedGEMM' -count=3 -timeout 30m
 
+# Re-run the kernel benchmarks and diff the medians against the
+# committed BENCH_kernels.json. Exits non-zero if any benchmark's
+# new/old ns ratio exceeds the -regress threshold; benchmarks that are
+# new or removed are reported but never fail the run. Refresh the
+# snapshot itself with `make bench-kernels`.
+.PHONY: bench-kernels-compare
+bench-kernels-compare:
+	go test ./internal/gemm -run '^$$' -bench 'BenchmarkBlockedGEMM|BenchmarkGEMM|BenchmarkCGEMM' -count=5 -timeout 60m | tee bench_kernels_new.txt
+	go test ./internal/conv -run '^$$' -bench 'BenchmarkConvForward' -count=5 -timeout 60m | tee -a bench_kernels_new.txt
+	go run ./cmd/benchjson -in bench_kernels_new.txt -compare BENCH_kernels.json -regress 1.15
+
 # Serving-path microbenchmarks: the dynamic batcher vs the batch=1
 # baseline (wall cost of the serving machinery plus the simulated
 # per-image GPU cost as sim_us_per_img), and the admission-control

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func snapOf(pairs ...any) Snapshot {
+	var s Snapshot
+	for i := 0; i+1 < len(pairs); i += 2 {
+		s.Benchmarks = append(s.Benchmarks, Summary{
+			Name:    pairs[i].(string),
+			NsPerOp: pairs[i+1].(float64),
+		})
+	}
+	return s
+}
+
+func TestCompareSnapshotsRatiosAndFlags(t *testing.T) {
+	oldSnap := snapOf("BenchmarkA", 1000.0, "BenchmarkB", 2000.0, "BenchmarkGone", 10.0)
+	newSnap := snapOf("BenchmarkA", 500.0, "BenchmarkB", 2500.0, "BenchmarkNew", 42.0)
+	rows, regressed := compareSnapshots(oldSnap, newSnap, 1.15)
+	if !regressed {
+		t.Fatal("1.25x slowdown on BenchmarkB not flagged")
+	}
+	byName := map[string]compareRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if r := byName["BenchmarkA"]; r.Status != "faster" || r.Ratio != 0.5 {
+		t.Errorf("BenchmarkA row = %+v, want faster at 0.5", r)
+	}
+	if r := byName["BenchmarkB"]; r.Status != "REGRESSION" || r.Ratio != 1.25 {
+		t.Errorf("BenchmarkB row = %+v, want REGRESSION at 1.25", r)
+	}
+	if r := byName["BenchmarkNew"]; r.Status != "new" {
+		t.Errorf("BenchmarkNew row = %+v, want status new", r)
+	}
+	if r := byName["BenchmarkGone"]; r.Status != "removed" {
+		t.Errorf("BenchmarkGone row = %+v, want status removed", r)
+	}
+}
+
+func TestCompareSnapshotsWithinThresholdPasses(t *testing.T) {
+	oldSnap := snapOf("BenchmarkA", 1000.0)
+	newSnap := snapOf("BenchmarkA", 1100.0) // 1.10 < 1.15
+	rows, regressed := compareSnapshots(oldSnap, newSnap, 1.15)
+	if regressed {
+		t.Fatal("within-threshold slowdown flagged as regression")
+	}
+	if rows[0].Status != "ok" {
+		t.Errorf("row = %+v, want status ok", rows[0])
+	}
+	// Missing-on-one-side benchmarks must never flag the run.
+	rows, regressed = compareSnapshots(snapOf("BenchmarkOnlyOld", 5.0), snapOf("BenchmarkOnlyNew", 7.0), 1.15)
+	if regressed {
+		t.Fatalf("new/removed rows flagged a regression: %+v", rows)
+	}
+}
+
+func TestRenderCompareTable(t *testing.T) {
+	rows, _ := compareSnapshots(snapOf("BenchmarkA", 1000.0), snapOf("BenchmarkA", 500.0), 1.15)
+	var sb strings.Builder
+	renderCompare(&sb, rows, 1.15)
+	out := sb.String()
+	for _, want := range []string{"BenchmarkA", "0.500", "faster", "ratio = new/old"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

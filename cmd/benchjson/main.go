@@ -7,6 +7,12 @@
 //
 //	go test ./internal/gemm -bench . -count=5 | go run ./cmd/benchjson -out BENCH_kernels.json
 //	go run ./cmd/benchjson -in bench.txt -out BENCH_kernels.json
+//	go run ./cmd/benchjson -in bench.txt -compare BENCH_kernels.json -regress 1.15
+//
+// With -compare the freshly parsed medians are diffed against a prior
+// snapshot: one row per benchmark with the new/old ns ratio, and any
+// benchmark slower than the -regress threshold flags the run (non-zero
+// exit), which is what `make bench-kernels-compare` gates on.
 package main
 
 import (
@@ -152,10 +158,80 @@ func normalizeNames(order []string, byName map[string][]result, gomaxprocs int) 
 	return newOrder, newByName
 }
 
+// compareRow is one line of the -compare delta table.
+type compareRow struct {
+	Name   string
+	OldNs  float64
+	NewNs  float64
+	Ratio  float64 // new/old; <1 is faster, >1 is slower
+	Status string  // "faster", "ok", "REGRESSION", "new", "removed"
+}
+
+// compareSnapshots diffs new medians against an old snapshot. A
+// benchmark whose new/old ns ratio exceeds threshold is a regression;
+// benchmarks present on only one side are reported informationally and
+// never flag the run.
+func compareSnapshots(oldSnap, newSnap Snapshot, threshold float64) (rows []compareRow, regressed bool) {
+	oldByName := map[string]Summary{}
+	for _, s := range oldSnap.Benchmarks {
+		oldByName[s.Name] = s
+	}
+	seen := map[string]bool{}
+	for _, s := range newSnap.Benchmarks {
+		seen[s.Name] = true
+		o, ok := oldByName[s.Name]
+		if !ok {
+			rows = append(rows, compareRow{Name: s.Name, NewNs: s.NsPerOp, Status: "new"})
+			continue
+		}
+		row := compareRow{Name: s.Name, OldNs: o.NsPerOp, NewNs: s.NsPerOp}
+		if o.NsPerOp > 0 {
+			row.Ratio = s.NsPerOp / o.NsPerOp
+		}
+		switch {
+		case row.Ratio > threshold:
+			row.Status = "REGRESSION"
+			regressed = true
+		case row.Ratio < 1:
+			row.Status = "faster"
+		default:
+			row.Status = "ok"
+		}
+		rows = append(rows, row)
+	}
+	for _, s := range oldSnap.Benchmarks {
+		if !seen[s.Name] {
+			rows = append(rows, compareRow{Name: s.Name, OldNs: s.NsPerOp, Status: "removed"})
+		}
+	}
+	return rows, regressed
+}
+
+// renderCompare prints the delta table.
+func renderCompare(w io.Writer, rows []compareRow, threshold float64) {
+	fmt.Fprintf(w, "%-48s %14s %14s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "status")
+	for _, r := range rows {
+		oldNs, newNs, ratio := "-", "-", "-"
+		if r.OldNs > 0 {
+			oldNs = strconv.FormatFloat(r.OldNs, 'f', 0, 64)
+		}
+		if r.NewNs > 0 {
+			newNs = strconv.FormatFloat(r.NewNs, 'f', 0, 64)
+		}
+		if r.Ratio > 0 {
+			ratio = strconv.FormatFloat(r.Ratio, 'f', 3, 64)
+		}
+		fmt.Fprintf(w, "%-48s %14s %14s %8s  %s\n", r.Name, oldNs, newNs, ratio, r.Status)
+	}
+	fmt.Fprintf(w, "(ratio = new/old median ns/op; >%.2f flags a regression)\n", threshold)
+}
+
 func main() {
 	in := flag.String("in", "", "bench output file (default stdin)")
 	out := flag.String("out", "", "output JSON file (default stdout)")
 	note := flag.String("note", "kernel microbenchmark snapshot (medians over -count runs)", "note field for the snapshot")
+	compare := flag.String("compare", "", "prior snapshot JSON to diff against (delta mode)")
+	regress := flag.Float64("regress", 1.15, "new/old ns ratio above which a benchmark is a regression")
 	flag.Parse()
 
 	var src io.Reader = os.Stdin
@@ -224,6 +300,26 @@ func main() {
 		snap.Benchmarks = append(snap.Benchmarks, s)
 	}
 
+	if *compare != "" {
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		var oldSnap Snapshot
+		if err := json.Unmarshal(raw, &oldSnap); err != nil {
+			log.Fatalf("benchjson: parsing %s: %v", *compare, err)
+		}
+		rows, regressed := compareSnapshots(oldSnap, snap, *regress)
+		renderCompare(os.Stdout, rows, *regress)
+		if *out != "" {
+			writeSnapshot(snap, *out)
+		}
+		if regressed {
+			log.Fatalf("benchjson: regression(s) above %.2fx vs %s", *regress, *compare)
+		}
+		return
+	}
+
 	enc, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		log.Fatalf("benchjson: %v", err)
@@ -233,8 +329,17 @@ func main() {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	writeSnapshot(snap, *out)
+}
+
+func writeSnapshot(snap Snapshot, path string) {
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
 		log.Fatalf("benchjson: %v", err)
 	}
-	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+	enc = append(enc, '\n')
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), path)
 }

@@ -107,6 +107,9 @@ func main() {
 	// span the whole run, so policy-to-policy shifts in p99 and shed
 	// rate show up as live series rather than separate snapshots.
 	plane := obs.NewPlane(obs.Options{})
+	// Kernel workspace-arena hit rate and high-water mark on the dash:
+	// the fused im2col path's memory win shows up here live.
+	obs.AttachWorkspace(plane)
 	slo := serve.SLOConfig{
 		E2EThreshold: sloP99.Seconds(),
 		E2ETarget:    *sloTarget,

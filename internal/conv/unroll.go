@@ -20,9 +20,11 @@ func (c Config) geom() im2col.Geom {
 	}
 }
 
-// unrollFwdJob is the pooled per-image work unit of UnrollForward: the
-// im2col column matrix is carved from a per-worker arena instead of
-// allocated per image.
+// unrollFwdJob is the pooled per-image work unit of UnrollForward. The
+// lowered column matrix is never materialised: a pooled im2col
+// PanelPacker generates each packed B micro-panel on demand inside the
+// GEMM (fused im2col→pack), so the engine's former dominant workspace
+// carve-out — rows×cols floats per worker — is gone entirely.
 type unrollFwdJob struct {
 	g              im2col.Geom
 	rows, cols     int
@@ -32,13 +34,11 @@ type unrollFwdJob struct {
 }
 
 func (j *unrollFwdJob) Run(n int) {
-	ws := workspace.Get()
-	defer workspace.Put(ws)
-	// Im2col writes every column entry, so the carve can stay dirty.
-	col := ws.Float32Uninit(j.rows * j.cols)
-	im2col.Im2col(j.g, j.x[n*j.imgLen:(n+1)*j.imgLen], col)
-	// y_n (f×o²) = W (f×(c·k²)) · col ((c·k²)×o²)
-	gemm.Blocked(1, j.w, col, 0, j.y[n*j.outLen:(n+1)*j.outLen], j.filters, j.cols, j.rows)
+	pk := im2col.GetPacker()
+	pk.Reset(j.g, j.x[n*j.imgLen:(n+1)*j.imgLen])
+	// y_n (f×o²) = W (f×(c·k²)) · col ((c·k²)×o²), col virtual
+	gemm.BlockedVirtualB(1, j.w, pk, 0, j.y[n*j.outLen:(n+1)*j.outLen], j.filters, j.cols, j.rows)
+	im2col.PutPacker(pk)
 }
 
 var unrollFwdPool = newJobPool[unrollFwdJob]()
@@ -46,7 +46,9 @@ var unrollFwdPool = newJobPool[unrollFwdJob]()
 // UnrollForward computes the convolution by lowering each image to a
 // column matrix (im2col) and multiplying it by the filter bank viewed
 // as an f×(c·k²) matrix — the Caffe/Torch-cunn/Theano-CorrMM scheme,
-// one GEMM per image, parallel over the batch.
+// one GEMM per image, parallel over the batch. The lowering is fused
+// into the GEMM's packing, so the column matrix only ever exists as
+// L1-resident micro-panels.
 func UnrollForward(cfg Config, x, w, y *tensor.Tensor) {
 	checkShapes(cfg, x, w, y)
 	g := cfg.geom()
@@ -118,17 +120,16 @@ func (j *unrollBwdFilterJob) Run(ci int) {
 	if hi > j.batch {
 		hi = j.batch
 	}
-	ws := workspace.Get()
-	defer workspace.Put(ws)
-	col := ws.Float32Uninit(j.rows * j.cols)
 	partial := j.partials[ci*j.wLen : (ci+1)*j.wLen]
+	pk := im2col.GetPacker()
 	for n := lo; n < hi; n++ {
-		im2col.Im2col(j.g, j.x[n*j.imgLen:(n+1)*j.imgLen], col)
-		// dw_n (f×(c·k²)) = dy_n (f×o²) · colᵀ (o²×(c·k²)) — NT form
-		// with B stored row-major as (c·k²)×o²; beta=1 accumulates
-		// straight into the chunk partial.
-		gemm.NT(1, j.dy[n*j.outLen:(n+1)*j.outLen], col, 1, partial, j.filters, j.rows, j.cols)
+		// dw_n (f×(c·k²)) = dy_n (f×o²) · colᵀ (o²×(c·k²)) — an NN GEMM
+		// against the virtual transposed lowering; beta=1 accumulates
+		// straight into the chunk partial and col is never materialised.
+		pk.ResetTransposed(j.g, j.x[n*j.imgLen:(n+1)*j.imgLen])
+		gemm.BlockedVirtualB(1, j.dy[n*j.outLen:(n+1)*j.outLen], pk, 1, partial, j.filters, j.rows, j.cols)
 	}
+	im2col.PutPacker(pk)
 }
 
 var unrollBwdFilterPool = newJobPool[unrollBwdFilterJob]()

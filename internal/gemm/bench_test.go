@@ -51,13 +51,35 @@ func BenchmarkGEMM(bm *testing.B) {
 			bm.ReportMetric(FLOPs(s, s, s)*float64(bm.N)/bm.Elapsed().Seconds()/1e9, "GFLOPS")
 		})
 	}
-	const s = 256
-	a, b, c := benchMatrices(s, s, s)
-	bm.Run("parallel/256", func(bm *testing.B) {
+	for _, s := range []int{256, 512} {
+		a, b, c := benchMatrices(s, s, s)
+		bm.Run(fmt.Sprintf("parallel/%d", s), func(bm *testing.B) {
+			for i := 0; i < bm.N; i++ {
+				Parallel(1, a, b, 0, c, s, s, s)
+			}
+			bm.ReportMetric(FLOPs(s, s, s)*float64(bm.N)/bm.Elapsed().Seconds()/1e9, "GFLOPS")
+		})
+	}
+}
+
+// BenchmarkGEMMFused compares the materialised im2col-shaped virtual-B
+// path against the plain packed kernel at the same shape: the delta is
+// the cost (or win) of generating B panels through the fusion seam.
+func BenchmarkGEMMFused(bm *testing.B) {
+	const m, n, k = 64, 1024, 576 // a Conv-ish f×o²×ck² shape
+	a, b, c := benchMatrices(m, n, k)
+	bm.Run("materialized", func(bm *testing.B) {
 		for i := 0; i < bm.N; i++ {
-			Parallel(1, a, b, 0, c, s, s, s)
+			Packed(1, a, b, 0, c, m, n, k)
 		}
-		bm.ReportMetric(FLOPs(s, s, s)*float64(bm.N)/bm.Elapsed().Seconds()/1e9, "GFLOPS")
+		bm.ReportMetric(FLOPs(m, n, k)*float64(bm.N)/bm.Elapsed().Seconds()/1e9, "GFLOPS")
+	})
+	bm.Run("virtualB", func(bm *testing.B) {
+		vb := materializedB(b, n)
+		for i := 0; i < bm.N; i++ {
+			BlockedVirtualB(1, a, vb, 0, c, m, n, k)
+		}
+		bm.ReportMetric(FLOPs(m, n, k)*float64(bm.N)/bm.Elapsed().Seconds()/1e9, "GFLOPS")
 	})
 }
 

@@ -36,7 +36,7 @@ func CPacked(alpha complex64, a []complex64, b []complex64, beta complex64, c []
 // fbfft batches its Cgemm kernel.
 func CParallel(alpha complex64, a []complex64, b []complex64, beta complex64, c []complex64, m, n, k int) {
 	checkCDims(len(a), len(b), len(c), m, n, k)
-	if m*n*k < cpackThreshold {
+	if m*n*k < cpackedThreshold() {
 		CNaive(alpha, a, b, beta, c, m, n, k)
 		return
 	}

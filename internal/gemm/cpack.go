@@ -15,9 +15,29 @@ const (
 	mrC = 8 // rows per complex micro-tile
 	nrC = 4 // columns per complex micro-tile (×2 accumulators each)
 
-	// cpackThreshold routes tiny complex problems to CNaive.
-	cpackThreshold = 1 << 13
+	// cKcCap/cNcCap bound the tuned blocking for the planar kernel:
+	// packed blocks exist twice (real+imag planes), so the single-
+	// precision extents would double the footprint.
+	cKcCap = 256
+	cNcCap = 2048
 )
+
+// cpackedThreshold routes tiny complex problems to CNaive. A complex
+// multiply-add is four real ones, so the packed kernel amortises at a
+// quarter of the real-valued crossover.
+func cpackedThreshold() int { return packedThreshold() / 4 }
+
+// ctuneFor caps the autotuned blocking for planar-complex packing.
+func ctuneFor(m, n, k int) blockParams {
+	bp := tuneFor(m, n, k)
+	if bp.kc > cKcCap {
+		bp.kc = cKcCap
+	}
+	if bp.nc > cNcCap {
+		bp.nc = cNcCap
+	}
+	return bp
+}
 
 // cpackA splits the mv×kc block of A at (i0, p0) into planar row-major
 // mrC×kc panels, zero-padding tail rows.
@@ -139,26 +159,31 @@ func cpackedGEMM(workers int, alpha complex64, a, b, c []complex64, m, n, k int)
 	}
 	ws := workspace.Get()
 	defer workspace.Put(ws)
+	bp := ctuneFor(m, n, k)
 	ncMax := n
-	if ncMax > ncBlock {
-		ncMax = ncBlock
+	if ncMax > bp.nc {
+		ncMax = bp.nc
 	}
-	panelFloats := kcBlock * roundUp(ncMax, nrC)
+	kcMax := k
+	if kcMax > bp.kc {
+		kcMax = bp.kc
+	}
+	panelFloats := kcMax * roundUp(ncMax, nrC)
 	bpR := ws.Float32Uninit(panelFloats)
 	bpI := ws.Float32Uninit(panelFloats)
 	j := ctileJobPool.Get()
 	j.alpha, j.a, j.c = alpha, a, c
 	j.lda, j.ldc, j.m = k, n, m
 	panels := (m + mrC - 1) / mrC
-	for jc := 0; jc < n; jc += ncBlock {
+	for jc := 0; jc < n; jc += bp.nc {
 		nc := n - jc
-		if nc > ncBlock {
-			nc = ncBlock
+		if nc > bp.nc {
+			nc = bp.nc
 		}
-		for pc := 0; pc < k; pc += kcBlock {
+		for pc := 0; pc < k; pc += bp.kc {
 			kc := k - pc
-			if kc > kcBlock {
-				kc = kcBlock
+			if kc > bp.kc {
+				kc = bp.kc
 			}
 			for t, jr := 0, 0; jr < nc; t, jr = t+1, jr+nrC {
 				nv := nc - jr

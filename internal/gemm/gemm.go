@@ -9,12 +9,22 @@
 //   - Naive: the textbook triple loop, used as the correctness oracle.
 //   - Packed/Blocked: BLIS-style serial kernel — both operands are
 //     repacked into contiguous panels and multiplied by a register-tiled
-//     mr×nr micro-kernel (see pack.go).
-//   - Parallel: the packed kernel with C tiles fanned out over the par
-//     worker pool; this is the tier the convolution engines call.
+//     mr×nr micro-kernel (AVX2/FMA assembly on capable amd64 hosts,
+//     portable Go otherwise; see pack.go, kernel_amd64.s) under
+//     runtime-autotuned cache blocking (tune.go).
+//   - Parallel: the packed kernel with the ic/jr macro-loops fanned out
+//     over the par worker pool — workers share one packed B block and
+//     pack their own A blocks; this is the tier the convolution engines
+//     call.
+//
+// Operands may also be virtual (BlockedVirtualB and friends in
+// virtual.go): a panel packer generates op(A)/op(B) micro-panels on
+// demand, which is how the unrolling convolution engines fuse im2col
+// into GEMM packing without materialising the lowered matrix.
 //
 // The legacy cache-blocked kernel is kept (unexported) both as a
-// fallback for problems too small to amortise packing and as the
+// fallback for problems too small to amortise packing (crossover
+// derived from the autotuned blocking, see packedThreshold) and as the
 // benchmark reference the packed kernel is measured against.
 package gemm
 
@@ -50,12 +60,12 @@ func Naive(alpha float32, a []float32, b []float32, beta float32, c []float32, m
 // kernel; tiny ones use the legacy cache-blocked loop.
 func Blocked(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
 	checkDims(len(a), len(b), len(c), m, n, k)
-	if m*n*k < packThreshold {
+	if !routesToPacked(m, n, k) {
 		blockedLegacy(alpha, a, b, beta, c, m, n, k)
 		return
 	}
 	scaleRows(beta, c, 0, m, n)
-	packedGEMM(1, alpha, a, b, c, m, n, k, false, false)
+	packedGEMM(1, alpha, matA(a, k), matB(b, n), c, m, n, k)
 }
 
 // Packed computes C = alpha*A*B + beta*C through the packed
@@ -65,7 +75,7 @@ func Blocked(alpha float32, a []float32, b []float32, beta float32, c []float32,
 func Packed(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
 	checkDims(len(a), len(b), len(c), m, n, k)
 	scaleRows(beta, c, 0, m, n)
-	packedGEMM(1, alpha, a, b, c, m, n, k, false, false)
+	packedGEMM(1, alpha, matA(a, k), matB(b, n), c, m, n, k)
 }
 
 // blockedLegacy is the pre-packing cache-blocked kernel, kept as the
@@ -104,9 +114,9 @@ func blockedRows(alpha float32, a, b, c []float32, i0, i1, m, n, k int) {
 	}
 }
 
-// Parallel computes C = alpha*A*B + beta*C, distributing packed C tiles
-// over the par worker pool. Small problems fall through to the serial
-// kernel to avoid dispatch overhead.
+// Parallel computes C = alpha*A*B + beta*C, partitioning the packed
+// kernel's ic/jr macro-loops over the par worker pool. Small problems
+// fall through to the serial kernel to avoid dispatch overhead.
 func Parallel(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
 	checkDims(len(a), len(b), len(c), m, n, k)
 	workers := gemmWorkers(m, n, k)
@@ -115,7 +125,7 @@ func Parallel(alpha float32, a []float32, b []float32, beta float32, c []float32
 		return
 	}
 	scaleRows(beta, c, 0, m, n)
-	packedGEMM(workers, alpha, a, b, c, m, n, k, false, false)
+	packedGEMM(workers, alpha, matA(a, k), matB(b, n), c, m, n, k)
 }
 
 // NT computes C = alpha*A*Bᵀ + beta*C where A is m×k and B is n×k,
@@ -126,12 +136,12 @@ func NT(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n
 	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
 		panic(fmt.Sprintf("gemm: NT buffer too small for m=%d n=%d k=%d", m, n, k))
 	}
-	if m*n*k < packThreshold {
+	if !routesToPacked(m, n, k) {
 		ntLegacy(alpha, a, b, beta, c, m, n, k)
 		return
 	}
 	scaleRows(beta, c, 0, m, n)
-	packedGEMM(1, alpha, a, b, c, m, n, k, false, true)
+	packedGEMM(1, alpha, matA(a, k), matBT(b, k), c, m, n, k)
 }
 
 // ntLegacy is the pre-packing dot-product NT kernel (small-problem
@@ -158,12 +168,12 @@ func TN(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n
 	if len(a) < k*m || len(b) < k*n || len(c) < m*n {
 		panic(fmt.Sprintf("gemm: TN buffer too small for m=%d n=%d k=%d", m, n, k))
 	}
-	if m*n*k < packThreshold {
+	if !routesToPacked(m, n, k) {
 		tnLegacy(alpha, a, b, beta, c, m, n, k)
 		return
 	}
 	scaleRows(beta, c, 0, m, n)
-	packedGEMM(1, alpha, a, b, c, m, n, k, true, false)
+	packedGEMM(1, alpha, matAT(a, m), matB(b, n), c, m, n, k)
 }
 
 // tnLegacy is the pre-packing axpy TN kernel (small-problem fallback).
@@ -185,8 +195,8 @@ func tnLegacy(alpha float32, a []float32, b []float32, beta float32, c []float32
 	}
 }
 
-// ParallelNT is NT with packed C tiles fanned out over the par worker
-// pool.
+// ParallelNT is NT with the packed macro-loops fanned out over the par
+// worker pool.
 func ParallelNT(alpha float32, a []float32, b []float32, beta float32, c []float32, m, n, k int) {
 	if len(a) < m*k || len(b) < n*k || len(c) < m*n {
 		panic(fmt.Sprintf("gemm: NT buffer too small for m=%d n=%d k=%d", m, n, k))
@@ -197,7 +207,7 @@ func ParallelNT(alpha float32, a []float32, b []float32, beta float32, c []float
 		return
 	}
 	scaleRows(beta, c, 0, m, n)
-	packedGEMM(workers, alpha, a, b, c, m, n, k, false, true)
+	packedGEMM(workers, alpha, matA(a, k), matBT(b, k), c, m, n, k)
 }
 
 // FLOPs returns the floating-point operation count of an m×n×k GEMM

@@ -1,0 +1,141 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasAVX2FMA() bool
+//
+// Leaf 1 ECX: FMA (bit 12), OSXSAVE (bit 27), AVX (bit 28).
+// XGETBV(0): XMM|YMM state enabled by the OS (bits 1-2).
+// Leaf 7 EBX: AVX2 (bit 5).
+TEXT ·cpuHasAVX2FMA(SB), NOSPLIT, $0-1
+	// Max basic leaf must reach 7.
+	MOVL $0, AX
+	MOVL $0, CX
+	CPUID
+	CMPL AX, $7
+	JL   no
+
+	MOVL $1, AX
+	MOVL $0, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $((1<<12)|(1<<27)|(1<<28)), R8
+	CMPL R8, $((1<<12)|(1<<27)|(1<<28))
+	JNE  no
+
+	MOVL   $0, CX
+	XGETBV
+	ANDL   $6, AX
+	CMPL   AX, $6
+	JNE    no
+
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func microKernelFMA(kc int, ap, bp, ct *float32, ldc int, alpha float32)
+//
+// One full 8x8 micro-tile: ap is a row-major 8xkc A panel (row stride
+// kc floats), bp a p-major kcx8 B panel (unit-stride rows), ct the C
+// tile origin with row stride ldc floats. Per reduction step one B row
+// is loaded into Y8 and each A row's scalar is broadcast and FMA'd into
+// its accumulator (Y0-Y7) — 16 FMA lanes/cycle peak, C touched once in
+// the epilogue. PREFETCHT0 stays ~4 B-rows ahead of the stream and
+// runs into the next panel at the tail (panels are contiguous).
+TEXT ·microKernelFMA(SB), NOSPLIT, $0-44
+	MOVQ kc+0(FP), DX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), BX
+	MOVQ ct+24(FP), DI
+	MOVQ ldc+32(FP), R11
+
+	// A panel row bases: SI=row0, R9=row3, R10=row6; stride R8=kc*4.
+	// Rows 1,2,4,5,7 reach via (base)(R8*{1,2,4}).
+	MOVQ DX, R8
+	SHLQ $2, R8
+	LEAQ (SI)(R8*2), R9
+	ADDQ R8, R9
+	LEAQ (R9)(R8*2), R10
+	ADDQ R8, R10
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+loop:
+	VMOVUPS    (BX), Y8
+	PREFETCHT0 128(BX)
+	VBROADCASTSS (SI), Y9
+	VFMADD231PS  Y8, Y9, Y0
+	VBROADCASTSS (SI)(R8*1), Y9
+	VFMADD231PS  Y8, Y9, Y1
+	VBROADCASTSS (SI)(R8*2), Y9
+	VFMADD231PS  Y8, Y9, Y2
+	VBROADCASTSS (R9), Y9
+	VFMADD231PS  Y8, Y9, Y3
+	VBROADCASTSS (SI)(R8*4), Y9
+	VFMADD231PS  Y8, Y9, Y4
+	VBROADCASTSS (R9)(R8*2), Y9
+	VFMADD231PS  Y8, Y9, Y5
+	VBROADCASTSS (R10), Y9
+	VFMADD231PS  Y8, Y9, Y6
+	VBROADCASTSS (R10)(R8*1), Y9
+	VFMADD231PS  Y8, Y9, Y7
+	ADDQ $32, BX
+	ADDQ $4, SI
+	ADDQ $4, R9
+	ADDQ $4, R10
+	DECQ DX
+	JNZ  loop
+
+	// Epilogue: C row r += alpha * acc_r. Same three-base addressing
+	// trick over ct with stride R8=ldc*4.
+	VBROADCASTSS alpha+40(FP), Y9
+	MOVQ R11, R8
+	SHLQ $2, R8
+	LEAQ (DI)(R8*2), R9
+	ADDQ R8, R9
+	LEAQ (R9)(R8*2), R10
+	ADDQ R8, R10
+
+	VMOVUPS     (DI), Y10
+	VFMADD231PS Y9, Y0, Y10
+	VMOVUPS     Y10, (DI)
+	VMOVUPS     (DI)(R8*1), Y10
+	VFMADD231PS Y9, Y1, Y10
+	VMOVUPS     Y10, (DI)(R8*1)
+	VMOVUPS     (DI)(R8*2), Y10
+	VFMADD231PS Y9, Y2, Y10
+	VMOVUPS     Y10, (DI)(R8*2)
+	VMOVUPS     (R9), Y10
+	VFMADD231PS Y9, Y3, Y10
+	VMOVUPS     Y10, (R9)
+	VMOVUPS     (DI)(R8*4), Y10
+	VFMADD231PS Y9, Y4, Y10
+	VMOVUPS     Y10, (DI)(R8*4)
+	VMOVUPS     (R9)(R8*2), Y10
+	VFMADD231PS Y9, Y5, Y10
+	VMOVUPS     Y10, (R9)(R8*2)
+	VMOVUPS     (R10), Y10
+	VFMADD231PS Y9, Y6, Y10
+	VMOVUPS     Y10, (R10)
+	VMOVUPS     (R10)(R8*1), Y10
+	VFMADD231PS Y9, Y7, Y10
+	VMOVUPS     Y10, (R10)(R8*1)
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,13 @@
+//go:build !amd64
+
+package gemm
+
+// useFMA is false off amd64: every tile goes through the portable
+// scalar micro-kernel.
+const useFMA = false
+
+// microKernelFMA exists so pack.go links on every GOARCH; the useFMA
+// guard means it is never reached here.
+func microKernelFMA(kc int, ap, bp, ct *float32, ldc int, alpha float32) {
+	panic("gemm: microKernelFMA called on a non-amd64 build")
+}

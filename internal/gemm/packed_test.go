@@ -68,7 +68,7 @@ func TestPackedParallelMatchesNaiveRagged(t *testing.T) {
 			got := append([]float32(nil), want...)
 			Naive(1, a, b, 0.5, want, m, n, k)
 			scaleRows(0.5, got, 0, m, n)
-			packedGEMM(4, 1, a, b, got, m, n, k, false, false)
+			packedGEMM(4, 1, matA(a, k), matB(b, n), got, m, n, k)
 			if d := maxAbsDiff(want, got); d > tol(k) {
 				t.Fatalf("parallel packed mismatch m=%d n=%d k=%d: max diff %g", m, n, k, d)
 			}
@@ -87,7 +87,7 @@ func TestPackedNTMatchesOracleRagged(t *testing.T) {
 			got := make([]float32, m*n)
 			ntLegacy(1, a, b, 0, want, m, n, k)
 			scaleRows(0, got, 0, m, n)
-			packedGEMM(1, 1, a, b, got, m, n, k, false, true)
+			packedGEMM(1, 1, matA(a, k), matBT(b, k), got, m, n, k)
 			if d := maxAbsDiff(want, got); d > tol(k) {
 				t.Fatalf("packed NT mismatch m=%d n=%d k=%d: max diff %g", m, n, k, d)
 			}
@@ -106,7 +106,7 @@ func TestPackedTNMatchesOracleRagged(t *testing.T) {
 			got := make([]float32, m*n)
 			tnLegacy(1, a, b, 0, want, m, n, k)
 			scaleRows(0, got, 0, m, n)
-			packedGEMM(1, 1, a, b, got, m, n, k, true, false)
+			packedGEMM(1, 1, matAT(a, m), matB(b, n), got, m, n, k)
 			if d := maxAbsDiff(want, got); d > tol(k) {
 				t.Fatalf("packed TN mismatch m=%d n=%d k=%d: max diff %g", m, n, k, d)
 			}
@@ -115,11 +115,15 @@ func TestPackedTNMatchesOracleRagged(t *testing.T) {
 }
 
 // TestLargeEntryPointsUsePackedKernel pushes the public entry points
-// over packThreshold so the packed path (not the legacy fallback) is
-// what's verified against the oracle.
+// over the packed-routing threshold so the packed path (not the legacy
+// fallback) is what's verified against the oracle.
 func TestLargeEntryPointsUsePackedKernel(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	const m, n, k = 70, 65, 40 // m*n*k > packThreshold
+	const m, n, k = 70, 65, 40 // m*n*k = 182000 > packedThreshold()
+	if !routesToPacked(m, n, k) {
+		t.Fatalf("test shape %dx%dx%d no longer routes to the packed kernel (threshold %d)",
+			m, n, k, packedThreshold())
+	}
 	a := randSlice(rng, m*k)
 	b := randSlice(rng, k*n)
 	bT := make([]float32, n*k) // b transposed: n×k

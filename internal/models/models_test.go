@@ -219,10 +219,15 @@ func TestEvaluateBatches(t *testing.T) {
 	for i := range labels {
 		labels[i] = r.Intn(10)
 	}
-	// Batched evaluation must match single-shot evaluation.
+	// Batched evaluation must match single-shot evaluation. Not
+	// bitwise: the batch dimension is the GEMM m dimension, and rows
+	// inside a full 8-row register tile run through the FMA micro-kernel
+	// (fused rounding) while tail rows take the scalar kernel — so the
+	// same sample's logits can differ at float32 rounding order
+	// depending on batch size, like any vectorised BLAS.
 	l1, a1 := Evaluate(m, images, labels, 10)
 	l2, a2 := Evaluate(m, images, labels, 3)
-	if diff := l1 - l2; diff > 1e-9 || diff < -1e-9 {
+	if diff := l1 - l2; diff > 1e-6 || diff < -1e-6 {
 		t.Fatalf("batched loss %v != full-batch loss %v", l2, l1)
 	}
 	if a1 != a2 {

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"gpucnn/internal/workspace"
+)
+
+// AttachWorkspace surfaces the workspace arena pool on the plane: a
+// "workspace" dashboard section with the raw counters, plus gauges for
+// the carve hit rate and high-water mark so /debug/dash charts them in
+// its windowed instrument table. The gauges are sampled lazily at
+// snapshot time (the section callback runs on every dashboard render),
+// so the kernels' hot paths pay nothing for the wiring.
+func AttachWorkspace(p *Plane) {
+	if p == nil {
+		return
+	}
+	hwGauge := p.Gauge("workspace.highwater.bytes")
+	hitGauge := p.Gauge("workspace.carve.hitrate")
+	p.Section("workspace", func() map[string]any {
+		s := workspace.ReadStats()
+		hitRate := 1.0
+		if s.Carves > 0 {
+			hitRate = float64(s.Hits()) / float64(s.Carves)
+		}
+		hwGauge.Set(float64(s.HighWaterBytes))
+		hitGauge.Set(hitRate)
+		return map[string]any{
+			"gets":            s.Gets,
+			"puts":            s.Puts,
+			"carves":          s.Carves,
+			"slab_grows":      s.SlabGrows,
+			"carve_hits":      s.Hits(),
+			"carve_hit_rate":  hitRate,
+			"highwater_bytes": s.HighWaterBytes,
+		}
+	})
+}

@@ -20,15 +20,64 @@
 // goroutine checks out its own.
 package workspace
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Arena is a growable scratch slab handing out typed carve-outs. The
 // zero value is ready to use.
 type Arena struct {
-	f32    []float32
-	c64    []complex64
-	f32off int
-	c64off int
+	f32        []float32
+	c64        []complex64
+	f32off     int
+	c64off     int
+	cycleBytes int64 // bytes carved since Get, for the high-water stat
+}
+
+// Package-wide arena statistics (atomic: arenas are per-goroutine but
+// the pool is shared). A carve that fits the checked-out slab is a hit;
+// one that forces a slab grow is a miss — steady state should be
+// all-hits, and the high-water mark is the largest single Get/Put
+// cycle's carved footprint (the number the fused im2col path shrinks).
+var (
+	statGets      atomic.Int64
+	statPuts      atomic.Int64
+	statCarves    atomic.Int64
+	statGrows     atomic.Int64
+	statHighWater atomic.Int64
+)
+
+// Stats is a snapshot of the arena pool counters.
+type Stats struct {
+	Gets           int64 // arena checkouts
+	Puts           int64 // arena returns
+	Carves         int64 // typed carve-out requests
+	SlabGrows      int64 // carves that had to grow a slab (pool misses)
+	HighWaterBytes int64 // largest bytes carved in one Get/Put cycle
+}
+
+// Hits returns the carves served from already-grown slabs.
+func (s Stats) Hits() int64 { return s.Carves - s.SlabGrows }
+
+// ReadStats snapshots the pool counters.
+func ReadStats() Stats {
+	return Stats{
+		Gets:           statGets.Load(),
+		Puts:           statPuts.Load(),
+		Carves:         statCarves.Load(),
+		SlabGrows:      statGrows.Load(),
+		HighWaterBytes: statHighWater.Load(),
+	}
+}
+
+// ResetStats zeroes the pool counters (tests and dashboard epochs).
+func ResetStats() {
+	statGets.Store(0)
+	statPuts.Store(0)
+	statCarves.Store(0)
+	statGrows.Store(0)
+	statHighWater.Store(0)
 }
 
 var pool = sync.Pool{New: func() any { return new(Arena) }}
@@ -37,24 +86,38 @@ var pool = sync.Pool{New: func() any { return new(Arena) }}
 func Get() *Arena {
 	a := pool.Get().(*Arena)
 	a.Reset()
+	statGets.Add(1)
 	return a
 }
 
 // Put returns the arena — and its grown capacity — to the pool. All
 // carve-outs handed out since Get become invalid.
-func Put(a *Arena) { pool.Put(a) }
+func Put(a *Arena) {
+	statPuts.Add(1)
+	for {
+		cur := statHighWater.Load()
+		if a.cycleBytes <= cur || statHighWater.CompareAndSwap(cur, a.cycleBytes) {
+			break
+		}
+	}
+	pool.Put(a)
+}
 
 // Reset invalidates all carve-outs while keeping the backing capacity.
 func (a *Arena) Reset() {
 	a.f32off, a.c64off = 0, 0
+	a.cycleBytes = 0
 }
 
 // Float32Uninit carves n float32s of scratch without clearing them. Use
 // when the caller overwrites the whole buffer (im2col, packing panels).
 func (a *Arena) Float32Uninit(n int) []float32 {
+	statCarves.Add(1)
+	a.cycleBytes += int64(n) * 4
 	if a.f32off+n > len(a.f32) {
 		a.f32 = grow(a.f32, a.f32off+n)
 		a.f32off = 0
+		statGrows.Add(1)
 	}
 	s := a.f32[a.f32off : a.f32off+n : a.f32off+n]
 	a.f32off += n
@@ -70,9 +133,12 @@ func (a *Arena) Float32(n int) []float32 {
 
 // Complex64Uninit carves n complex64s of scratch without clearing them.
 func (a *Arena) Complex64Uninit(n int) []complex64 {
+	statCarves.Add(1)
+	a.cycleBytes += int64(n) * 8
 	if a.c64off+n > len(a.c64) {
 		a.c64 = grow(a.c64, a.c64off+n)
 		a.c64off = 0
+		statGrows.Add(1)
 	}
 	s := a.c64[a.c64off : a.c64off+n : a.c64off+n]
 	a.c64off += n
