@@ -3,7 +3,7 @@
 tier1: lint
 	go build ./...
 	go test ./...
-	go test -race ./internal/gemm ./internal/conv ./internal/par ./internal/serve ./internal/obs ./internal/telemetry
+	go test -race ./internal/gemm ./internal/conv ./internal/par ./internal/serve ./internal/obs ./internal/telemetry ./internal/planner
 
 # Static analysis: the stock vet suite plus this repo's analyzers
 # (spanend, arenaput, errcmp, ctxbg, rawgo, obsstop — see
@@ -38,6 +38,23 @@ bench-kernels-compare:
 	go test ./internal/gemm -run '^$$' -bench 'BenchmarkBlockedGEMM|BenchmarkGEMM|BenchmarkCGEMM' -count=5 -timeout 60m | tee bench_kernels_new.txt
 	go test ./internal/conv -run '^$$' -bench 'BenchmarkConvForward' -count=5 -timeout 60m | tee -a bench_kernels_new.txt
 	go run ./cmd/benchjson -in bench_kernels_new.txt -compare BENCH_kernels.json -regress 1.15
+
+# Planner decision-quality snapshot: decision latency (cold + cached)
+# and the autotuned-vs-best-fixed ratio over the five Figure 3 sweeps
+# (the "ratio" metric; 1.0 = always matches the per-cell winner),
+# summarised into BENCH_planner.json.
+.PHONY: bench-planner
+bench-planner:
+	go test ./internal/planner -run '^$$' -bench 'BenchmarkPlanner' -count=5 -timeout 30m | tee bench_planner.txt
+	go run ./cmd/benchjson -in bench_planner.txt -note "planner decision quality and latency (medians over -count runs)" -out BENCH_planner.json
+
+# Re-run the planner benchmarks and diff against the committed
+# snapshot; exits non-zero past the -regress threshold (this gates the
+# decision-quality ratio as well as the latencies).
+.PHONY: bench-planner-compare
+bench-planner-compare:
+	go test ./internal/planner -run '^$$' -bench 'BenchmarkPlanner' -count=5 -timeout 30m | tee bench_planner_new.txt
+	go run ./cmd/benchjson -in bench_planner_new.txt -compare BENCH_planner.json -regress 1.15
 
 # Serving-path microbenchmarks: the dynamic batcher vs the batch=1
 # baseline (wall cost of the serving machinery plus the simulated

@@ -54,13 +54,14 @@ import (
 	"gpucnn/internal/multigpu"
 	"gpucnn/internal/obs"
 	"gpucnn/internal/par"
+	"gpucnn/internal/planner"
 	"gpucnn/internal/serve"
 	"gpucnn/internal/telemetry"
 )
 
 func main() {
 	devices := flag.Int("devices", 4, "simulated GPUs in the cluster")
-	engine := flag.String("engine", "cuDNN", "convolution engine (must support arbitrary batch sizes)")
+	engine := flag.String("engine", "cuDNN", "convolution engine, e.g. cuDNN or Autotuned (must support arbitrary batch sizes)")
 	clients := flag.Int("clients", 64, "closed-loop load-generator clients")
 	requests := flag.Int("requests", 2000, "requests to complete per policy")
 	maxBatch := flag.Int("maxbatch", 32, "dynamic batcher flush size")
@@ -110,6 +111,11 @@ func main() {
 	// Kernel workspace-arena hit rate and high-water mark on the dash:
 	// the fused im2col path's memory win shows up here live.
 	obs.AttachWorkspace(plane)
+	// Plan-time autotuner decisions on the dash: with -engine Autotuned
+	// (the planner registers the eighth engine via its init), the
+	// "planner" section shows which engine each layer runs on and why,
+	// plus per-strategy pick counters.
+	planner.AttachPlane(plane)
 	slo := serve.SLOConfig{
 		E2EThreshold: sloP99.Seconds(),
 		E2ETarget:    *sloTarget,

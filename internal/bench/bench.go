@@ -178,10 +178,14 @@ func SweepCtx(ctx context.Context, cfgs []conv.Config, value func(conv.Config) i
 	}
 	var tasks []Task
 	for _, cfg := range cfgs {
-		// Fresh engine instances per configuration: engines carry no
-		// mutable state today, but per-cell instantiation keeps the
-		// worker pool race-free by construction.
-		for _, e := range impls.All() {
+		engines := opt.Engines
+		if engines == nil {
+			// Fresh engine instances per configuration: the paper's seven
+			// carry no mutable state, but per-cell instantiation keeps the
+			// worker pool race-free by construction.
+			engines = impls.All()
+		}
+		for _, e := range engines {
 			tasks = append(tasks, Task{Engine: e, Cfg: cfg, Spec: spec})
 		}
 	}

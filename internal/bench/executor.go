@@ -27,6 +27,12 @@ type Options struct {
 	// Cancellation is cooperative: a running cell is abandoned at its
 	// next iteration boundary and marked Canceled.
 	Timeout time.Duration
+	// Engines overrides the engine set a sweep measures. Nil means the
+	// paper's seven (impls.All(), fresh instances per configuration);
+	// non-nil instances are shared across every cell of the sweep, so
+	// stateful engines — the planner's Autotuned, the Auto dispatcher —
+	// must be safe for concurrent use (both are).
+	Engines []impls.Engine
 }
 
 func (o Options) workers() int {

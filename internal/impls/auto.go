@@ -2,6 +2,7 @@ package impls
 
 import (
 	"fmt"
+	"sync"
 
 	"gpucnn/internal/conv"
 	"gpucnn/internal/gpusim"
@@ -21,25 +22,59 @@ import (
 //   - FFT engines cannot run strides above 1; cuDNN takes those.
 type autoEngine struct {
 	memBudget int64 // 0 = the full device
+
+	mu   sync.Mutex
+	last Engine // most recently picked delegate
 }
 
 // NewAuto returns the rule-based dispatcher. memBudget (bytes) bounds
-// the chosen engine's expected peak memory; 0 means the device limit.
+// the chosen engine's expected peak memory; 0 means the limit of the
+// device the plan is built for.
 func NewAuto(memBudget int64) Engine { return &autoEngine{memBudget: memBudget} }
 
-func (e *autoEngine) Name() string            { return "Auto" }
-func (e *autoEngine) Strategy() conv.Strategy { return conv.Unrolling } // of its fallback
+func (e *autoEngine) Name() string { return "Auto" }
+
+// Strategy reports the convolution family of the most recently picked
+// delegate, so sweep tables and telemetry label dispatched cells by
+// what actually ran (an FFT-dispatched cell reports conv.FFT, not the
+// fallback's family). Before any pick it reports the fallback's
+// (cuDNN's) unrolling strategy.
+func (e *autoEngine) Strategy() conv.Strategy {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.last != nil {
+		return e.last.Strategy()
+	}
+	return conv.Unrolling // of its fallback
+}
 
 // Supports: the dispatcher always has a fallback (cuDNN runs anything).
 func (e *autoEngine) Supports(cfg conv.Config) error { return cfg.Validate() }
 
 // Pick returns the engine the paper's guidance selects for the config,
-// with the reason.
+// with the reason, budgeting memory against the paper's K40c. Callers
+// planning for a specific device should use PickOn with that device's
+// spec.
 func (e *autoEngine) Pick(cfg conv.Config) (Engine, string) {
+	return e.PickOn(gpusim.TeslaK40c(), cfg)
+}
+
+// PickOn is Pick with the memory budget taken from the device actually
+// being planned for (unless the dispatcher was built with an explicit
+// budget).
+func (e *autoEngine) PickOn(spec gpusim.DeviceSpec, cfg conv.Config) (Engine, string) {
+	chosen, reason := e.pick(spec, cfg)
+	e.mu.Lock()
+	e.last = chosen
+	e.mu.Unlock()
+	return chosen, reason
+}
+
+func (e *autoEngine) pick(spec gpusim.DeviceSpec, cfg conv.Config) (Engine, string) {
 	cfg = cfg.WithDefaults()
 	budget := e.memBudget
 	if budget <= 0 {
-		budget = gpusim.TeslaK40c().GlobalMemBytes
+		budget = spec.GlobalMemBytes
 	}
 	// Memory-limited regimes go to the most frugal implementation.
 	if est := fbfftMemEstimate(cfg); est > budget {
@@ -74,7 +109,7 @@ func (e *autoEngine) PlanShared(dev *gpusim.Device, cfg conv.Config) (Plan, erro
 }
 
 func (e *autoEngine) planWith(dev *gpusim.Device, cfg conv.Config, shared bool) (Plan, error) {
-	chosen, reason := e.Pick(cfg)
+	chosen, reason := e.PickOn(dev.Spec, cfg)
 	var p Plan
 	var err error
 	if shared {

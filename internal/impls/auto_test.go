@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gpucnn/internal/conv"
+	"gpucnn/internal/gpusim"
 	"gpucnn/internal/workload"
 )
 
@@ -52,6 +53,78 @@ func TestAutoPicksPerPaperGuidance(t *testing.T) {
 	odd.Batch = 50
 	if name, _ := pickName(t, odd, 600<<20); name != "Torch-cunn" {
 		t.Errorf("memory-limited odd-batch pick = %s, want Torch-cunn", name)
+	}
+}
+
+// TestAutoBudgetFollowsPlannedDevice: with no explicit budget, the
+// dispatcher must budget memory against the device actually being
+// planned for, not the paper's K40c. On a small-memory spec the
+// fbfft-sized footprint of the base config no longer fits, so the plan
+// must dispatch to the frugal cuda-convnet2 — before the fix it used
+// the K40c's 12 GB regardless and picked fbfft.
+func TestAutoBudgetFollowsPlannedDevice(t *testing.T) {
+	small := gpusim.TeslaK40c()
+	small.Name = "small-mem"
+	small.GlobalMemBytes = 600 << 20
+
+	a := NewAuto(0).(*autoEngine)
+	if name, _ := a.PickOn(small, workload.Base()); name.Name() != "cuda-convnet2" {
+		t.Errorf("PickOn(small-mem) = %s, want cuda-convnet2", name.Name())
+	}
+	// End-to-end through the Plan path: the profile must show the
+	// convnet2 kernels, not fbfft's.
+	dev := gpusim.New(small)
+	p, err := NewAuto(0).Plan(dev, workload.Base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Release()
+	if err := p.Iteration(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range dev.Prof.Kernels() {
+		if strings.Contains(k.Name, "decimateInFrequency") {
+			t.Fatalf("auto on a 600 MB device dispatched to fbfft (kernel %s)", k.Name)
+		}
+	}
+	found := false
+	for _, k := range dev.Prof.Kernels() {
+		if strings.Contains(k.Name, "filterActs") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("auto on a 600 MB device should have dispatched to cuda-convnet2")
+	}
+}
+
+// TestAutoStrategyMatchesPick: Strategy() must report the delegated
+// engine's convolution family after a pick — before the fix it
+// reported conv.Unrolling unconditionally, mislabeling FFT-dispatched
+// cells in sweep tables and telemetry.
+func TestAutoStrategyMatchesPick(t *testing.T) {
+	a := NewAuto(0)
+	if got := a.Strategy(); got != conv.Unrolling {
+		t.Errorf("pre-pick Strategy() = %v, want unrolling fallback", got)
+	}
+	dev := newDev()
+	p, err := a.Plan(dev, workload.Base()) // k=11 -> fbfft
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+	if got := a.Strategy(); got != conv.FFT {
+		t.Errorf("Strategy() after fbfft dispatch = %v, want fft", got)
+	}
+	small := workload.Base()
+	small.Kernel = 3 // -> cuDNN
+	p, err = a.Plan(dev, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+	if got := a.Strategy(); got != conv.Unrolling {
+		t.Errorf("Strategy() after cuDNN dispatch = %v, want unrolling", got)
 	}
 }
 

@@ -3,6 +3,7 @@ package impls
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // All returns the seven implementations in the order the paper lists
@@ -30,12 +31,35 @@ func Names() []string {
 	return names
 }
 
+var (
+	extMu   sync.Mutex
+	extCtor []func() Engine
+)
+
+// RegisterExtension adds an engine constructor to the Extensions()
+// registry (and therefore to ByName lookup). Packages layered on top
+// of impls that provide additional engines — internal/planner's
+// cost-model-driven Autotuned — call this from init(), which keeps the
+// dependency edge pointing outward: impls never imports them.
+func RegisterExtension(ctor func() Engine) {
+	extMu.Lock()
+	defer extMu.Unlock()
+	extCtor = append(extCtor, ctor)
+}
+
 // Extensions returns implementations that go beyond the paper's seven —
 // post-publication optimisations implemented as the "opportunities for
-// further optimization" the paper's conclusion identifies. They are
-// kept out of All() so the reproduced comparisons stay faithful.
+// further optimization" the paper's conclusion identifies, plus any
+// engines installed via RegisterExtension. They are kept out of All()
+// so the reproduced comparisons stay faithful.
 func Extensions() []Engine {
-	return []Engine{NewWinograd(), NewAuto(0), NewTheanoLegacy()}
+	out := []Engine{NewWinograd(), NewAuto(0), NewTheanoLegacy()}
+	extMu.Lock()
+	defer extMu.Unlock()
+	for _, ctor := range extCtor {
+		out = append(out, ctor())
+	}
+	return out
 }
 
 // ByName looks an engine up case-insensitively by its paper name

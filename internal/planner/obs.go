@@ -1,0 +1,53 @@
+package planner
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gpucnn/internal/obs"
+)
+
+// attachedPlane receives per-decision counters once AttachPlane is
+// called; obs instruments are nil-safe, so the unattached state costs
+// one atomic load per decision.
+var attachedPlane atomic.Pointer[obs.Plane]
+
+// AttachPlane surfaces the planner on the observability plane: a
+// windowed counter per chosen strategy ("planner.pick.fft", ...),
+// decision and cache-hit counters, and a "planner" dashboard section
+// rendering the DefaultCache decision table — which engine each layer
+// of a live serving fleet is running on, and why, at /debug/dash.
+func AttachPlane(p *obs.Plane) {
+	if p == nil {
+		return
+	}
+	attachedPlane.Store(p)
+	p.Section("planner", func() map[string]any {
+		stats := DefaultCache.Stats()
+		out := map[string]any{
+			"decisions":    stats.Entries,
+			"cache_hits":   stats.Hits,
+			"cache_misses": stats.Misses,
+		}
+		for _, d := range DefaultCache.Snapshot() {
+			key := fmt.Sprintf("pick %s %v", d.Device, d.Cfg)
+			out[key] = fmt.Sprintf("%s (%s, predicted %v)",
+				d.Engine, d.Strategy, d.Predicted.Round(1000))
+		}
+		return out
+	})
+}
+
+// observeDecision bumps the attached plane's counters for one decision
+// (fresh or cache-served).
+func observeDecision(d Decision) {
+	p := attachedPlane.Load()
+	if p == nil {
+		return
+	}
+	p.Counter("planner.decisions").Inc()
+	if d.FromCache {
+		p.Counter("planner.decisions.cached").Inc()
+	}
+	p.Counter("planner.pick." + d.Strategy.String()).Inc()
+}

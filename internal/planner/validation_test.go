@@ -1,0 +1,67 @@
+package planner
+
+import (
+	"context"
+	"testing"
+
+	"gpucnn/internal/bench"
+	"gpucnn/internal/gpusim"
+	"gpucnn/internal/impls"
+	"gpucnn/internal/workload"
+)
+
+// TestAutotunedNeverWorseOnFigure3Sweeps is the planner's acceptance
+// gate: re-run every Figure 3 sweep with Autotuned appended to the
+// paper's seven engines and require its cell to land within tolerance
+// of the best fixed engine's — per cell, across all five sweeps. The
+// planner delegates to whatever the cost model ranks fastest, and the
+// sweep measures through the same model, so the only slack needed is
+// for candidates outside the paper's seven (Winograd can only make it
+// faster, never slower).
+func TestAutotunedNeverWorseOnFigure3Sweeps(t *testing.T) {
+	const tolerance = 1.10
+	autotuned := NewAutotuned(Options{Cache: NewCache()})
+	engines := append(impls.All(), autotuned)
+	for _, sweep := range workload.SweepNames() {
+		rows := bench.Figure3Ctx(context.Background(), sweep, gpusim.TeslaK40c(),
+			bench.Options{Engines: engines})
+		if len(rows) == 0 {
+			t.Fatalf("%s sweep produced no rows", sweep)
+		}
+		for _, row := range rows {
+			best, ok := bestFixed(row)
+			if !ok {
+				continue // no fixed engine ran the cell; nothing to compare
+			}
+			cell, ok := row.CellFor("Autotuned")
+			if !ok {
+				t.Fatalf("%s sweep value %d: no Autotuned cell", sweep, row.Value)
+			}
+			if !cell.Ok() {
+				t.Errorf("%s sweep value %d: Autotuned failed (%s) where %s ran",
+					sweep, row.Value, cell.Unsupported, best.Impl)
+				continue
+			}
+			if ratio := cell.Time.Seconds() / best.Time.Seconds(); ratio > tolerance {
+				t.Errorf("%s sweep value %d: Autotuned %v is %.2fx the best fixed engine %s (%v)",
+					sweep, row.Value, cell.Time, ratio, best.Impl, best.Time)
+			}
+		}
+	}
+}
+
+// bestFixed returns the fastest valid cell among the paper's seven
+// fixed engines (excluding Autotuned itself).
+func bestFixed(row bench.Row) (bench.Cell, bool) {
+	var best bench.Cell
+	found := false
+	for _, c := range row.Cells {
+		if c.Impl == "Autotuned" || !c.Ok() {
+			continue
+		}
+		if !found || c.Time < best.Time {
+			best, found = c, true
+		}
+	}
+	return best, found
+}
