@@ -3,17 +3,24 @@
 tier1: lint
 	go build ./...
 	go test ./...
-	go test -race ./internal/gemm ./internal/conv ./internal/par ./internal/serve ./internal/obs ./internal/telemetry ./internal/planner
+	go test -race ./internal/gemm ./internal/conv ./internal/par ./internal/serve ./internal/obs ./internal/telemetry ./internal/planner ./internal/analysis/...
 
 # Static analysis: the stock vet suite plus this repo's analyzers
-# (spanend, arenaput, errcmp, ctxbg, rawgo, obsstop — see
-# internal/analysis).
+# (spanend, arenaput, errcmp, ctxbg, rawgo, obsstop, lockheld,
+# hotalloc, atomicmix, wallclock, bareignore — see internal/analysis).
 # cmd/lint re-execs itself as go vet's -vettool, so one invocation
 # runs everything.
 .PHONY: lint
 lint:
 	go vet ./...
 	go run ./cmd/lint ./...
+
+# Machine-readable lint: same suite, findings as a JSON array on
+# stdout (file/line/col/analyzer/message), non-zero exit when any
+# finding survives suppression.
+.PHONY: lint-json
+lint-json:
+	go run ./cmd/lint -json ./...
 
 # Kernel microbenchmarks: 5 repetitions of the GEMM and convolution
 # benches, summarised into BENCH_kernels.json (ns/op medians plus any

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -38,9 +40,74 @@ func TestLintFailsOnBrokenPackage(t *testing.T) {
 	for _, want := range []string{
 		"sentinel error ErrBad compared with ==; use errors.Is",
 		"naked go statement in library code bypasses panic isolation; spawn through par.Go",
+		"time.Sleep may block while mu is held",
+		"append may grow (reallocate) its backing array in //hot:noalloc function Grow",
+		"malformed //lint:ignore",
 	} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("lint output missing %q; got:\n%s", want, out)
+		}
+	}
+}
+
+// TestLintJSON drives the -json mode end to end over the same broken
+// fixture: the driver must still exit non-zero, but the findings must
+// arrive on stdout as one JSON array with file/line/analyzer/message
+// populated per finding.
+func TestLintJSON(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+
+	bin := filepath.Join(t.TempDir(), "lint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building lint driver: %v\n%s", err, out)
+	}
+
+	broken, err := filepath.Abs(filepath.Join("testdata", "broken"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = broken
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	runErr := cmd.Run()
+	if runErr == nil {
+		t.Fatalf("lint -json on the broken fixture exited 0; stdout:\n%s", stdout.String())
+	}
+	if ee, ok := runErr.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("lint -json: want exit code 1, got %v; stderr:\n%s", runErr, stderr.String())
+	}
+
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON findings array: %v\n%s", err, stdout.String())
+	}
+	if len(findings) < 5 {
+		t.Fatalf("want at least 5 findings, got %d:\n%s", len(findings), stdout.String())
+	}
+	seen := map[string]bool{}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding with empty field: %+v", f)
+		}
+		if !strings.HasSuffix(f.File, ".go") {
+			t.Errorf("finding file %q does not look like a Go file", f.File)
+		}
+		seen[f.Analyzer] = true
+	}
+	for _, analyzer := range []string{"errcmp", "rawgo", "lockheld", "hotalloc", "bareignore"} {
+		if !seen[analyzer] {
+			t.Errorf("no %s finding in JSON output; analyzers seen: %v", analyzer, seen)
 		}
 	}
 }

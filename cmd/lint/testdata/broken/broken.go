@@ -2,7 +2,11 @@
 // smoke test asserts the driver exits non-zero on it.
 package broken
 
-import "errors"
+import (
+	"errors"
+	"sync"
+	"time"
+)
 
 var ErrBad = errors.New("bad")
 
@@ -13,5 +17,28 @@ func IsBad(err error) bool {
 
 // Spawn launches a naked goroutine in library code (rawgo violation).
 func Spawn(f func()) {
+	go f()
+}
+
+var mu sync.Mutex
+
+// Stall sleeps inside a critical section (lockheld violation).
+func Stall() {
+	mu.Lock()
+	defer mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// Grow appends in a hot function (hotalloc violation).
+//
+//hot:noalloc
+func Grow(xs []int) []int {
+	return append(xs, 1)
+}
+
+// Suppressed has a bare directive (bareignore violation) that also
+// fails to suppress the rawgo finding beneath it.
+func Suppressed(f func()) {
+	//lint:ignore rawgo
 	go f()
 }

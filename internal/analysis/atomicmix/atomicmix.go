@@ -1,0 +1,160 @@
+// Package atomicmix defines an Analyzer that reports variables
+// accessed both through sync/atomic and through plain loads and
+// stores.
+//
+// Mixing the two is the subtlest kind of data race: the atomic side
+// establishes no happens-before edge for the plain side, so the code
+// passes casual testing (and often the race detector, if the plain
+// access sits on a rarely-taken path) and then loses updates under
+// load. The shared counters in par, serve and the planner cache are
+// exactly where this bites. The fix is mechanical — make every access
+// atomic, or better, change the field's type to atomic.Int64 and let
+// the type system enforce it.
+//
+// A variable is "atomic" once any &v is passed to a sync/atomic
+// Add/Load/Store/Swap/CompareAndSwap function; that classification is
+// exported as a fact on the variable, so a plain access in a
+// downstream package is caught too. Suppress deliberate mixed access
+// (e.g. a plain read inside a section that excludes all writers) with
+// //lint:ignore atomicmix <reason>.
+package atomicmix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"gpucnn/internal/analysis/lintutil"
+)
+
+const doc = `report variables accessed both atomically and with plain loads/stores
+
+Once &v goes to sync/atomic, every access to v must be atomic: the
+plain side of a mixed access has no happens-before edge and races with
+the atomic side. Prefer converting the field to atomic.Int64.`
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicmix",
+	Doc:       doc,
+	Run:       run,
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*AtomicFact)(nil)},
+}
+
+// AtomicFact marks a variable that some analyzed package accesses via
+// sync/atomic.
+type AtomicFact struct {
+	Op string // the atomic function first seen, e.g. "AddInt64"
+}
+
+func (*AtomicFact) AFact()           {}
+func (f *AtomicFact) String() string { return "atomic(" + f.Op + ")" }
+
+func run(pass *analysis.Pass) (any, error) {
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Phase 1: find every &v handed to sync/atomic; classify v as
+	// atomic and exempt the argument subtree from the plain-access scan.
+	type site struct {
+		op  string
+		pos token.Pos
+	}
+	atomicVars := map[*types.Var]site{}
+	exempt := map[ast.Node]bool{}
+	insp.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn := lintutil.FuncCallee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicOp(fn.Name()) {
+			return
+		}
+		if len(call.Args) == 0 {
+			return
+		}
+		addr, ok := call.Args[0].(*ast.UnaryExpr)
+		if !ok || addr.Op != token.AND {
+			return
+		}
+		if v := resolveVar(pass, addr.X); v != nil {
+			if _, seen := atomicVars[v]; !seen {
+				atomicVars[v] = site{op: fn.Name(), pos: call.Pos()}
+			}
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if m != nil {
+					exempt[m] = true
+				}
+				return true
+			})
+		}
+	})
+	for v, s := range atomicVars {
+		if v.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(v, &AtomicFact{Op: s.op})
+		}
+	}
+
+	// Phase 2: every remaining use of an atomic variable is a plain
+	// load or store. Variables atomic in an upstream package arrive as
+	// facts.
+	insp.Preorder([]ast.Node{(*ast.Ident)(nil)}, func(n ast.Node) {
+		id := n.(*ast.Ident)
+		if exempt[id] || lintutil.IsTestFile(pass.Fset, id.Pos()) {
+			return
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return
+		}
+		if s, ok := atomicVars[v]; ok {
+			report(pass, id, fmt.Sprintf("%s is accessed via atomic.%s (line %d) but plainly here; use sync/atomic for every access (or an atomic.Int64 field)",
+				id.Name, s.op, pass.Fset.Position(s.pos).Line))
+			return
+		}
+		var fact AtomicFact
+		if v.Pkg() != nil && v.Pkg() != pass.Pkg && pass.ImportObjectFact(v, &fact) {
+			report(pass, id, fmt.Sprintf("%s is accessed via atomic.%s in its home package but plainly here; use sync/atomic for every access",
+				id.Name, fact.Op))
+		}
+	})
+	return nil, nil
+}
+
+func report(pass *analysis.Pass, n ast.Node, msg string) {
+	lintutil.Report(pass, "atomicmix", analysis.Diagnostic{
+		Pos: n.Pos(), End: n.End(), Message: msg,
+	})
+}
+
+// atomicOp reports whether name is a sync/atomic access function
+// (AddInt64, LoadUint32, StoreInt32, SwapPointer, CompareAndSwap...).
+func atomicOp(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveVar maps the operand of &operand to the variable object it
+// names: an identifier or the field of a selector. Index expressions
+// (&xs[i]) have no per-element object and are not tracked.
+func resolveVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := pass.TypesInfo.Uses[x].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := pass.TypesInfo.Uses[x.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}

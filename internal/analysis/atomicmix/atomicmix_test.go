@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"gpucnn/internal/analysis/atest"
+	"gpucnn/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	atest.Run(t, atest.TestData(t), atomicmix.Analyzer, "a")
+}

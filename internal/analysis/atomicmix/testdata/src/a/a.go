@@ -1,0 +1,70 @@
+// Fixtures for atomicmix: mixed atomic/plain access (positives),
+// consistently-atomic and consistently-plain variables (negatives),
+// and //lint:ignore suppression.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	plain  int64
+	boxed  atomic.Int64
+}
+
+// IncHits makes hits an atomic variable.
+func (c *counters) IncHits() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// ReadHits reads it plainly: racy against IncHits.
+func (c *counters) ReadHits() int64 {
+	return c.hits // want `hits is accessed via atomic.AddInt64 \(line 17\) but plainly here`
+}
+
+// Reset stores plainly: the same race on the write side.
+func (c *counters) Reset() {
+	c.hits = 0 // want `hits is accessed via atomic.AddInt64`
+}
+
+// IncMisses keeps misses consistently atomic: clean.
+func (c *counters) IncMisses() {
+	atomic.AddInt64(&c.misses, 1)
+}
+
+// ReadMisses too.
+func (c *counters) ReadMisses() int64 {
+	return atomic.LoadInt64(&c.misses)
+}
+
+// Plain never touches sync/atomic: plain access is fine.
+func (c *counters) Plain() int64 {
+	c.plain++
+	return c.plain
+}
+
+// Boxed uses atomic.Int64, whose methods are the only way in: clean
+// by construction, and the fix this analyzer's findings point at.
+func (c *counters) Boxed() int64 {
+	c.boxed.Add(1)
+	return c.boxed.Load()
+}
+
+// IgnoredSnapshot reads hits plainly behind an exclusion the analyzer
+// cannot see; the directive records why that is safe.
+func (c *counters) IgnoredSnapshot() int64 {
+	//lint:ignore atomicmix all writers are stopped before snapshotting
+	return c.hits
+}
+
+var gen int64
+
+// Next makes the package-level gen atomic.
+func Next() int64 {
+	return atomic.AddInt64(&gen, 1)
+}
+
+// Peek reads it plainly.
+func Peek() int64 {
+	return gen // want `gen is accessed via atomic.AddInt64`
+}

@@ -1,0 +1,200 @@
+// Package hotalloc defines an Analyzer that statically enforces the
+// zero-steady-state-allocation contract of functions annotated
+// //hot:noalloc.
+//
+// The GEMM, im2col and convolution inner loops earn their throughput
+// by never touching the allocator once buffers are warm — the
+// property TestUnrollZeroAllocTableI samples dynamically with
+// testing.AllocsPerRun. Sampling catches regressions only on the
+// configurations the test happens to run; this analyzer catches them
+// on every path at compile time. A function carrying //hot:noalloc in
+// its doc comment may not contain:
+//
+//   - heap-escaping composite literals: &T{...}, new(T), slice or map
+//     literals, or make of a slice/map/channel
+//   - append (growth reallocates the backing array)
+//   - function literals (a closure's captured variables escape)
+//   - interface boxing: passing or converting a concrete value to an
+//     interface-typed parameter allocates (fmt arguments being the
+//     classic offender)
+//
+// The annotation is the contract: un-annotated functions are not
+// scanned, so allocation-heavy setup paths (pack-buffer construction,
+// plan building) stay out of scope by default. Genuinely safe
+// exceptions — an append into a slice with proven capacity, an error
+// path that boxes only on failure — are suppressed per-site with
+// //lint:ignore hotalloc <reason>; panic arguments are exempt because
+// a panicking hot loop has already left the steady state.
+package hotalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"gpucnn/internal/analysis/lintutil"
+)
+
+const doc = `enforce zero allocations in //hot:noalloc functions
+
+Functions annotated //hot:noalloc may not contain heap-escaping
+composite literals, new/make of heap types, append, closures, or
+interface boxing. Suppress proven-safe sites with
+//lint:ignore hotalloc <reason>.`
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "hotalloc",
+	Doc:      doc,
+	Run:      run,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+}
+
+// Annotated reports whether decl's doc comment carries //hot:noalloc.
+func Annotated(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if strings.HasPrefix(c.Text, "//hot:noalloc") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil || !Annotated(decl) || lintutil.IsTestFile(pass.Fset, decl.Pos()) {
+			return
+		}
+		checkBody(pass, decl.Name.Name, decl.Body)
+	})
+	return nil, nil
+}
+
+func checkBody(pass *analysis.Pass, fname string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			report(pass, e, fname, "function literal allocates (captured variables escape)")
+			return false // one finding per closure, not per capture
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					report(pass, e, fname, "&composite literal escapes to the heap")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.TypeOf(e).Underlying().(type) {
+			case *types.Slice:
+				report(pass, e, fname, "slice literal allocates its backing array")
+				return false
+			case *types.Map:
+				report(pass, e, fname, "map literal allocates")
+				return false
+			}
+		case *ast.CallExpr:
+			checkCall(pass, fname, e)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, fname string, call *ast.CallExpr) {
+	// Builtins: new always allocates; make allocates for slices, maps
+	// and channels; append may grow its backing array.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				report(pass, call, fname, "new allocates")
+			case "make":
+				report(pass, call, fname, "make allocates")
+			case "append":
+				report(pass, call, fname, "append may grow (reallocate) its backing array")
+			}
+			return // other builtins (len, cap, panic, ...) are exempt
+		}
+	}
+
+	// Conversions to an interface type box the operand.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && boxes(pass, tv.Type, call.Args[0]) {
+			report(pass, call, fname, fmt.Sprintf("conversion boxes %s into %s",
+				types.TypeString(pass.TypesInfo.TypeOf(call.Args[0]), types.RelativeTo(pass.Pkg)), tv.Type.String()))
+		}
+		return
+	}
+
+	// Ordinary calls: a concrete argument for an interface-typed
+	// parameter (including variadic ...any) is boxed at the call site.
+	sigT := pass.TypesInfo.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return // f(xs...) passes the slice through without boxing
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(pass, pt, arg) {
+			report(pass, arg, fname, fmt.Sprintf("argument boxes %s into %s",
+				types.TypeString(pass.TypesInfo.TypeOf(arg), types.RelativeTo(pass.Pkg)), pt.String()))
+		}
+	}
+}
+
+// boxes reports whether passing arg as parameter type pt allocates an
+// interface box at run time: pt is an interface and arg is a concrete
+// value whose data does not fit the interface word. Pointer-shaped
+// values (pointers, channels, maps, funcs, unsafe.Pointer) are stored
+// directly, and compile-time constants are backed by read-only static
+// data — neither allocates, so neither is flagged.
+func boxes(pass *analysis.Pass, pt types.Type, arg ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || pt == nil || tv.Type == nil {
+		return false
+	}
+	if _, ok := pt.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	if tv.Value != nil {
+		return false // constant: static interface data, no allocation
+	}
+	switch at := tv.Type.Underlying().(type) {
+	case *types.Interface:
+		return false // interface-to-interface: no new box
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // pointer-shaped: stored in the interface word
+	case *types.Basic:
+		return at.Kind() != types.UntypedNil && at.Kind() != types.UnsafePointer
+	}
+	return true
+}
+
+func report(pass *analysis.Pass, n ast.Node, fname, msg string) {
+	lintutil.Report(pass, "hotalloc", analysis.Diagnostic{
+		Pos: n.Pos(), End: n.End(),
+		Message: msg + " in //hot:noalloc function " + fname,
+	})
+}

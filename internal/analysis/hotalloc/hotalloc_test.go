@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"gpucnn/internal/analysis/atest"
+	"gpucnn/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	atest.Run(t, atest.TestData(t), hotalloc.Analyzer, "a")
+}

@@ -1,0 +1,99 @@
+// Fixtures for hotalloc: allocation constructs inside //hot:noalloc
+// functions (positives), the same constructs in unannotated functions
+// (negatives), alloc-free hot code (negative), and suppression.
+package a
+
+import "fmt"
+
+type vec struct{ x, y float32 }
+
+// Dot is the shape of a real kernel: index arithmetic, no allocation.
+//
+//hot:noalloc
+func Dot(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+//hot:noalloc
+func EscapingComposite() *vec {
+	return &vec{1, 2} // want `&composite literal escapes to the heap`
+}
+
+//hot:noalloc
+func SliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates its backing array`
+}
+
+//hot:noalloc
+func MapLit() map[string]int {
+	return map[string]int{"a": 1} // want `map literal allocates`
+}
+
+//hot:noalloc
+func MakeSlice(n int) []float32 {
+	return make([]float32, n) // want `make allocates`
+}
+
+//hot:noalloc
+func NewVec() *vec {
+	return new(vec) // want `new allocates`
+}
+
+//hot:noalloc
+func Append(dst []int, v int) []int {
+	return append(dst, v) // want `append may grow \(reallocate\) its backing array`
+}
+
+//hot:noalloc
+func Closure(k float32) func(float32) float32 {
+	return func(x float32) float32 { return k * x } // want `function literal allocates`
+}
+
+//hot:noalloc
+func Boxing(i int) string {
+	return fmt.Sprintf("%d", i) // want `argument boxes int into any`
+}
+
+//hot:noalloc
+func ConstArgs() {
+	// Constant arguments are static interface data: no allocation.
+	fmt.Println("warm")
+}
+
+//hot:noalloc
+func PointerArg(v *vec) {
+	// Pointer-shaped values live in the interface word: no allocation.
+	fmt.Println(v)
+}
+
+//hot:noalloc
+func Conversion(i int) any {
+	return any(i) // want `conversion boxes int into any`
+}
+
+//hot:noalloc
+func ValueLiterals() vec {
+	// Plain struct and array value literals stay on the stack.
+	tmp := [4]float32{}
+	_ = tmp
+	return vec{3, 4}
+}
+
+//hot:noalloc
+func IgnoredAppend(dst []int, v int) []int {
+	//lint:ignore hotalloc caller guarantees cap(dst) > len(dst)
+	return append(dst, v)
+}
+
+// ColdPath is unannotated: the contract does not apply.
+func ColdPath(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -115,7 +115,7 @@ func Ignored(pass *analysis.Pass, pos token.Pos, name string) bool {
 
 // parseIgnore extracts the analyzer names from a //lint:ignore
 // directive. Directives without a reason are rejected so suppressions
-// stay self-documenting.
+// stay self-documenting; a nested comment marker is not a reason.
 func parseIgnore(text string) ([]string, bool) {
 	rest, ok := strings.CutPrefix(text, "//lint:ignore ")
 	if !ok {
@@ -125,7 +125,44 @@ func parseIgnore(text string) ([]string, bool) {
 	if len(fields) < 2 { // names + at least one word of reason
 		return nil, false
 	}
+	if strings.HasPrefix(fields[0], "/") || strings.HasPrefix(fields[1], "//") {
+		return nil, false
+	}
 	return strings.Split(fields[0], ","), true
+}
+
+// DirectiveAnalyzer (name "bareignore") enforces the suppression
+// policy on the directives themselves: every //lint:ignore must name
+// at least one analyzer and give a non-empty reason. A bare directive
+// is worse than none — parseIgnore rejects it, so it suppresses
+// nothing while looking like it does.
+var DirectiveAnalyzer = &analysis.Analyzer{
+	Name: "bareignore",
+	Doc: `report //lint:ignore directives with no analyzer name or no reason
+
+A malformed directive silently fails to suppress; the required shape
+is //lint:ignore <analyzer>[,<analyzer>] <reason>.`,
+	Run: runDirectives,
+}
+
+func runDirectives(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				if _, ok := parseIgnore(c.Text); !ok {
+					pass.Report(analysis.Diagnostic{
+						Pos: c.Pos(), End: c.End(),
+						Message: "malformed //lint:ignore: it suppresses nothing without both an analyzer name and a reason (//lint:ignore <analyzer>[,<analyzer>] <reason>)",
+					})
+				}
+			}
+		}
+	}
+	return nil, nil
 }
 
 // Report emits d unless an ignore directive for the named analyzer

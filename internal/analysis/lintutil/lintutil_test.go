@@ -1,0 +1,12 @@
+package lintutil_test
+
+import (
+	"testing"
+
+	"gpucnn/internal/analysis/atest"
+	"gpucnn/internal/analysis/lintutil"
+)
+
+func TestBareIgnore(t *testing.T) {
+	atest.Run(t, atest.TestData(t), lintutil.DirectiveAnalyzer, "a")
+}

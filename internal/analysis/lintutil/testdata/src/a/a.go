@@ -1,0 +1,35 @@
+// Fixtures for the bareignore directive check: well-formed directives
+// (negatives) and the malformed shapes that silently suppress nothing
+// (positives).
+package a
+
+// WellFormed carries a complete directive: clean.
+func WellFormed() {
+	//lint:ignore rawgo the reason lives here and satisfies the policy
+	_ = 0
+}
+
+// MultiName directives with a reason are fine too.
+func MultiName() {
+	//lint:ignore rawgo,ctxbg one reason can cover several analyzers
+	_ = 0
+}
+
+// NoReason omits the mandatory reason.
+func NoReason() {
+	//lint:ignore rawgo // want `malformed //lint:ignore`
+	_ = 0
+}
+
+// NoName has neither analyzer name nor reason.
+func NoName() {
+	//lint:ignore // want `malformed //lint:ignore`
+	_ = 0
+}
+
+// NotADirective mentions the prefix in prose without being one; the
+// longer token does not match.
+func NotADirective() {
+	//lint:ignorance is not a directive
+	_ = 0
+}

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"gpucnn/internal/analysis/atest"
+	"gpucnn/internal/analysis/lockheld"
+)
+
+func TestLockHeld(t *testing.T) {
+	atest.Run(t, atest.TestData(t), lockheld.Analyzer, "a")
+}

@@ -1,0 +1,19 @@
+// Package multigpu is a fixture stub of the real cluster type: the
+// analyzer matches Cluster.ExecOn by receiver type name and package
+// base, so this stands in for gpucnn/internal/multigpu.
+package multigpu
+
+import "sync"
+
+// Cluster owns one lock per device.
+type Cluster struct {
+	locks []sync.Mutex
+}
+
+// ExecOn runs fn inside device i's exclusive section; it queues behind
+// any other caller on the same device, i.e. it may block.
+func (c *Cluster) ExecOn(i int, fn func()) {
+	c.locks[i].Lock()
+	defer c.locks[i].Unlock()
+	fn()
+}

@@ -1,0 +1,293 @@
+// lockflow.go is the lock-aware dataflow layer of the paircheck
+// engine: a forward may-analysis over the ctrlflow CFG that computes,
+// for every reachable point of a function, the set of sync.Mutex /
+// sync.RWMutex values that may be held there.
+//
+// The abstraction is deliberately syntactic: a lock is identified by
+// the canonical source text of the receiver expression ("s.mu",
+// "c.locks[i]"), which is exactly the granularity a reviewer reasons
+// at. Acquisitions (Lock, RLock, TryLock, TryRLock) add the lock to
+// the set; releases (Unlock, RUnlock) remove it; joins union — a lock
+// released on only one branch still *may* be held after the merge,
+// which is the conservative direction for "no blocking op while a
+// lock is held" checks. A `defer mu.Unlock()` has no in-body effect:
+// the lock really is held for the rest of the function, which is the
+// region downstream analyzers must police.
+//
+// Function literals, deferred calls and go statements are opaque:
+// their bodies neither apply lock effects at the point of definition
+// nor receive the creator's held set (a closure may run on any
+// goroutine at any time). Each FuncLit is analyzed separately with an
+// empty entry set by whoever drives LockFlow over the inspector.
+package paircheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/cfg"
+)
+
+// HeldLock describes one mutex that may be held at a program point.
+type HeldLock struct {
+	Key      string         // canonical receiver text, e.g. "s.mu" or "c.locks[i]"
+	RLock    bool           // acquired via RLock/TryRLock (read side of an RWMutex)
+	Acquired token.Pos      // acquisition site
+	Base     string         // for locks in a slice/array ("c.locks"); "" otherwise
+	Index    ast.Expr       // index expression when Base != ""
+	IndexVal constant.Value // constant value of Index, or nil
+}
+
+// HeldSet is the set of locks that may be held, keyed by HeldLock.Key.
+type HeldSet map[string]HeldLock
+
+func (s HeldSet) clone() HeldSet {
+	out := make(HeldSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Any returns an arbitrary held lock (the one with the smallest
+// acquisition position, for deterministic diagnostics).
+func (s HeldSet) Any() (HeldLock, bool) {
+	var best HeldLock
+	found := false
+	for _, h := range s {
+		if !found || h.Acquired < best.Acquired {
+			best, found = h, true
+		}
+	}
+	return best, found
+}
+
+// MutexOp classifies a mutex method call.
+type MutexOp int
+
+const (
+	OpAcquire MutexOp = iota // Lock, RLock, TryLock, TryRLock
+	OpRelease                // Unlock, RUnlock
+)
+
+// MutexCall reports whether call invokes a locking method on a
+// sync.Mutex or sync.RWMutex (directly or through embedding) and
+// classifies it. The returned HeldLock identifies the receiver.
+func MutexCall(pass *analysis.Pass, call *ast.CallExpr) (MutexOp, HeldLock, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, HeldLock{}, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return 0, HeldLock{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return 0, HeldLock{}, false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return 0, HeldLock{}, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" ||
+		(obj.Name() != "Mutex" && obj.Name() != "RWMutex") {
+		return 0, HeldLock{}, false
+	}
+
+	var op MutexOp
+	rlock := false
+	switch fn.Name() {
+	case "Lock", "TryLock":
+		op = OpAcquire
+	case "RLock", "TryRLock":
+		op, rlock = OpAcquire, true
+	case "Unlock", "RUnlock":
+		op = OpRelease
+	default:
+		return 0, HeldLock{}, false // Locker conversions, RLocker, ...
+	}
+
+	h := HeldLock{
+		Key:      types.ExprString(sel.X),
+		RLock:    rlock,
+		Acquired: call.Pos(),
+	}
+	if ix, ok := sel.X.(*ast.IndexExpr); ok {
+		// Only slices/arrays of mutexes count as lock arrays (an
+		// IndexExpr can also be a generic instantiation or map index).
+		switch pass.TypesInfo.TypeOf(ix.X).Underlying().(type) {
+		case *types.Slice, *types.Array, *types.Pointer:
+			h.Base = types.ExprString(ix.X)
+			h.Index = ix.Index
+			if tv, ok := pass.TypesInfo.Types[ix.Index]; ok && tv.Value != nil {
+				h.IndexVal = tv.Value
+			}
+		}
+	}
+	return op, h, true
+}
+
+// lockEffect is one acquisition or release inside a CFG node, in
+// source order.
+type lockEffect struct {
+	op   MutexOp
+	lock HeldLock
+	pos  token.Pos
+}
+
+// LockFlow holds the per-function analysis result.
+type LockFlow struct {
+	pass    *analysis.Pass
+	g       *cfg.CFG
+	effects map[*cfg.Block][][]lockEffect // aligned with Block.Nodes
+	entry   map[*cfg.Block]HeldSet        // held at block entry (reachable blocks only)
+}
+
+// NewLockFlow runs the forward dataflow over g and returns the result.
+// g may be nil (e.g. for external functions), in which case every
+// query returns an empty set.
+func NewLockFlow(pass *analysis.Pass, g *cfg.CFG) *LockFlow {
+	lf := &LockFlow{
+		pass:    pass,
+		g:       g,
+		effects: map[*cfg.Block][][]lockEffect{},
+		entry:   map[*cfg.Block]HeldSet{},
+	}
+	if g == nil || len(g.Blocks) == 0 {
+		return lf
+	}
+
+	for _, b := range g.Blocks {
+		effs := make([][]lockEffect, len(b.Nodes))
+		for i, n := range b.Nodes {
+			effs[i] = lf.nodeEffects(n)
+		}
+		lf.effects[b] = effs
+	}
+
+	// Worklist fixpoint: entry[b] = ∪ exit[preds]; the CFG exposes only
+	// successors, so propagation pushes exit sets forward.
+	entryB := g.Blocks[0]
+	lf.entry[entryB] = HeldSet{}
+	work := []*cfg.Block{entryB}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := lf.entry[b].clone()
+		for _, effs := range lf.effects[b] {
+			for _, e := range effs {
+				out = apply(out, e)
+			}
+		}
+		for _, succ := range b.Succs {
+			cur, seen := lf.entry[succ]
+			if !seen {
+				lf.entry[succ] = out.clone()
+				work = append(work, succ)
+				continue
+			}
+			changed := false
+			for k, v := range out {
+				if _, ok := cur[k]; !ok {
+					cur[k] = v
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, succ)
+			}
+		}
+	}
+	return lf
+}
+
+func apply(held HeldSet, e lockEffect) HeldSet {
+	switch e.op {
+	case OpAcquire:
+		if _, ok := held[e.lock.Key]; !ok {
+			held[e.lock.Key] = e.lock
+		}
+	case OpRelease:
+		delete(held, e.lock.Key)
+	}
+	return held
+}
+
+// nodeEffects extracts the lock operations of one CFG node's subtree
+// in source order. Function literals, defers and go statements are
+// opaque: a `defer mu.Unlock()` keeps mu held for the rest of the
+// body, and a closure's lock traffic happens whenever the closure
+// runs, not here.
+func (lf *LockFlow) nodeEffects(node ast.Node) []lockEffect {
+	var out []lockEffect
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, h, ok := MutexCall(lf.pass, call); ok {
+				out = append(out, lockEffect{op: op, lock: h, pos: call.Pos()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// VisitHeld walks every AST node of every reachable CFG node, in
+// source order within each node, and invokes visit with the set of
+// locks that may be held when that node begins to execute. The set
+// excludes effects of the node itself at or after its own position —
+// an acquisition call sees the state *before* it takes the lock,
+// which is what an acquisition-ordering check needs. Subtrees of
+// FuncLit, DeferStmt and GoStmt are not visited (see package doc).
+//
+// The held set passed to visit is shared and must not be retained or
+// mutated; clone it if needed beyond the callback.
+func (lf *LockFlow) VisitHeld(visit func(n ast.Node, held HeldSet)) {
+	if lf.g == nil {
+		return
+	}
+	for _, b := range lf.g.Blocks {
+		entry, reachable := lf.entry[b]
+		if !reachable {
+			continue
+		}
+		held := entry.clone()
+		for i, node := range b.Nodes {
+			effs := lf.effects[b][i]
+			next := 0
+			ast.Inspect(node, func(n ast.Node) bool {
+				if n == nil {
+					return true
+				}
+				switch n.(type) {
+				case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+					return false
+				}
+				// Apply every effect positioned strictly before n, so n
+				// observes the state it executes under.
+				for next < len(effs) && effs[next].pos < n.Pos() {
+					held = apply(held, effs[next])
+					next++
+				}
+				visit(n, held)
+				return true
+			})
+			for next < len(effs) {
+				held = apply(held, effs[next])
+				next++
+			}
+		}
+	}
+}

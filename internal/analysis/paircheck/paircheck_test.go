@@ -1,0 +1,50 @@
+// Golden tests for the paircheck engine itself, driven by a minimal
+// acquire/release discipline over the res fixture stub. The fixtures
+// stress the control-flow corners the lockflow layer leans on:
+// deferred closures, method values, defer inside loops, and
+// early-return paths.
+package paircheck_test
+
+import (
+	"go/ast"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+
+	"gpucnn/internal/analysis/atest"
+	"gpucnn/internal/analysis/lintutil"
+	"gpucnn/internal/analysis/paircheck"
+)
+
+var restest = &analysis.Analyzer{
+	Name:     "restest",
+	Doc:      "exercise the paircheck engine over the res fixture stub",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run: func(pass *analysis.Pass) (any, error) {
+		return paircheck.Run(pass, paircheck.Spec{
+			Analyzer: "restest",
+			NewCall: func(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+				fn := lintutil.FuncCallee(pass.TypesInfo, call)
+				if fn == nil || fn.Name() != "Acquire" ||
+					fn.Pkg() == nil || !lintutil.PathIs(fn.Pkg().Path(), "res") {
+					return "", false
+				}
+				if len(call.Args) == 1 {
+					if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+						return "handle " + lit.Value, true
+					}
+				}
+				return "handle", true
+			},
+			Fluent:  map[string]bool{"Tag": true},
+			Release: map[string]bool{"Close": true},
+			Hint:    ".Close",
+		})
+	},
+}
+
+func TestPairCheckEdges(t *testing.T) {
+	atest.Run(t, atest.TestData(t), restest, "a")
+}

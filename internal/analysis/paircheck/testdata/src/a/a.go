@@ -1,0 +1,104 @@
+// Fixtures for the paircheck engine's edge cases: early returns,
+// deferred closures, method values, and defer inside loops.
+package a
+
+import "res"
+
+// --- early-return paths ------------------------------------------------
+
+func earlyReturnLeak(fail bool) int {
+	h := res.Acquire("early") // want `handle "early" assigned to h does not reach \.Close`
+	if fail {
+		return 1 // want `this return may be reached without releasing h`
+	}
+	h.Close()
+	return 0
+}
+
+func earlyReturnClosed(fail bool) int {
+	h := res.Acquire("both")
+	if fail {
+		h.Close()
+		return 1
+	}
+	h.Close()
+	return 0
+}
+
+// --- deferred closures -------------------------------------------------
+
+// A deferred closure that closes: the capture transfers ownership and
+// the release really happens on every path.
+func deferredClosure(fail bool) int {
+	h := res.Acquire("dc")
+	defer func() { h.Close() }()
+	if fail {
+		return 1
+	}
+	return 0
+}
+
+// A closure capture hands the handle to a new owner even when the
+// engine cannot see the release; conservatively clean by design.
+func capturedForLater() func() {
+	h := res.Acquire("cap")
+	return func() { h.Tag("later").Close() }
+}
+
+// A plain defer of the release method on a fluent chain result.
+func deferDirect(fail bool) int {
+	h := res.Acquire("dd").Tag("t")
+	defer h.Close()
+	if fail {
+		return 1
+	}
+	return 0
+}
+
+// --- method values -----------------------------------------------------
+
+// Binding h.Close as a method value transfers ownership to the value;
+// whoever calls f releases.
+func methodValue(fail bool) int {
+	h := res.Acquire("mv")
+	f := h.Close
+	if fail {
+		return 1
+	}
+	f()
+	return 0
+}
+
+// --- defer in loops ----------------------------------------------------
+
+// defer h.Close() inside a loop releases every iteration's handle at
+// function exit: late, but released — clean.
+func deferInLoop(n int) {
+	for i := 0; i < n; i++ {
+		h := res.Acquire("loop")
+		defer h.Close()
+	}
+}
+
+// The loop body that never releases leaks each iteration.
+func loopLeak(n int) {
+	for i := 0; i < n; i++ {
+		h := res.Acquire("leak") // want `handle "leak" assigned to h does not reach \.Close`
+		h.Tag("t")
+	}
+	return // want `this return may be reached without releasing h`
+}
+
+// --- chain consumption -------------------------------------------------
+
+func consumed() bool {
+	return res.Acquire("c").Done() // want `result of handle "c" is consumed by \.Done`
+}
+
+func discarded() {
+	res.Acquire("d") // want `result of handle "d" is discarded`
+}
+
+func inlineChainClose() {
+	res.Acquire("inline").Tag("t").Close()
+}

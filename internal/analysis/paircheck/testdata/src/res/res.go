@@ -1,0 +1,19 @@
+// Package res is a minimal acquire/release resource for the paircheck
+// engine's own golden tests: Acquire mints, Tag is fluent, Close
+// releases, Done merely consumes.
+package res
+
+// Handle is the tracked resource.
+type Handle struct{ open bool }
+
+// Acquire mints an open handle.
+func Acquire(name string) *Handle { return &Handle{open: true} }
+
+// Tag returns its receiver, continuing the fluent chain.
+func (h *Handle) Tag(t string) *Handle { return h }
+
+// Close releases the handle.
+func (h *Handle) Close() { h.open = false }
+
+// Done consumes the handle without releasing it.
+func (h *Handle) Done() bool { return !h.open }

@@ -1,0 +1,14 @@
+// Package a is outside the sim domain: wall-clock reads are fine.
+package a
+
+import "time"
+
+// Latency is a serving-layer measurement; wallclock must not fire.
+func Latency(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Stamp is likewise fine here.
+func Stamp() time.Time {
+	return time.Now()
+}

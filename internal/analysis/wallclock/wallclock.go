@@ -1,0 +1,77 @@
+// Package wallclock defines an Analyzer that keeps the wall clock out
+// of the simulated-time domain: no time.Now or time.Since in the
+// gpusim and planner packages.
+//
+// The paper reproduction derives every crossover in Figure 3 and
+// Table I from *modeled* time — gpusim's device cost model and the
+// planner's objective scoring. A stray time.Now in that domain
+// silently mixes measured host time into modeled GPU time, the exact
+// conflation DeLTA warns about, and turns a deterministic cost model
+// into one that depends on the build machine's load. The serving
+// layer (serve, obs, telemetry) lives in wall-clock time on purpose
+// and is out of scope.
+//
+// The one legitimate crossing is an explicitly marked probe boundary,
+// where the planner calibrates the model against a real measurement:
+// suppress it with //lint:ignore wallclock <reason>.
+package wallclock
+
+import (
+	"go/ast"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"gpucnn/internal/analysis/lintutil"
+)
+
+const doc = `forbid wall-clock reads in simulated-time packages
+
+gpusim and planner model time; time.Now/time.Since there mixes
+measured host time into modeled GPU time. Mark deliberate calibration
+probes with //lint:ignore wallclock <reason>.`
+
+// Analyzer is the wallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "wallclock",
+	Doc:      doc,
+	Run:      run,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+}
+
+// simDomain lists the import-path bases whose time is modeled, not
+// measured.
+var simDomain = []string{"gpusim", "planner"}
+
+func run(pass *analysis.Pass) (any, error) {
+	inSim := false
+	for _, base := range simDomain {
+		if lintutil.PathIs(pass.Pkg.Path(), base) {
+			inSim = true
+			break
+		}
+	}
+	if !inSim {
+		return nil, nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if lintutil.IsTestFile(pass.Fset, call.Pos()) {
+			return
+		}
+		fn := lintutil.FuncCallee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+			return
+		}
+		if name := fn.Name(); name == "Now" || name == "Since" {
+			lintutil.Report(pass, "wallclock", analysis.Diagnostic{
+				Pos: call.Pos(), End: call.End(),
+				Message: "time." + name + " in sim-domain package " + pass.Pkg.Name() +
+					": model time flows through gpusim costs, not the wall clock (//lint:ignore wallclock <reason> for calibration probes)",
+			})
+		}
+	})
+	return nil, nil
+}

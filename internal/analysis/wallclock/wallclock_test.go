@@ -1,0 +1,13 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"gpucnn/internal/analysis/atest"
+	"gpucnn/internal/analysis/wallclock"
+)
+
+func TestWallClock(t *testing.T) {
+	// gpusim is in the sim domain; a is not and stays silent.
+	atest.Run(t, atest.TestData(t), wallclock.Analyzer, "gpusim", "a")
+}

@@ -26,6 +26,7 @@ type directFwdJob struct {
 	x, w, y []float32
 }
 
+//hot:noalloc
 func (j *directFwdJob) Run(job int) {
 	cfg := j.cfg
 	c, i := cfg.Channels, cfg.Input
@@ -79,6 +80,7 @@ type directBwdDataJob struct {
 	dy, w, dx []float32
 }
 
+//hot:noalloc
 func (j *directBwdDataJob) Run(job int) {
 	cfg := j.cfg
 	c, i := cfg.Channels, cfg.Input
@@ -137,6 +139,7 @@ type directBwdFilterJob struct {
 	x, dy, dw []float32
 }
 
+//hot:noalloc
 func (j *directBwdFilterJob) Run(fi int) {
 	cfg := j.cfg
 	b, c, i := cfg.Batch, cfg.Channels, cfg.Input

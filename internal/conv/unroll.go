@@ -33,6 +33,7 @@ type unrollFwdJob struct {
 	x, w, y        []float32
 }
 
+//hot:noalloc
 func (j *unrollFwdJob) Run(n int) {
 	pk := im2col.GetPacker()
 	pk.Reset(j.g, j.x[n*j.imgLen:(n+1)*j.imgLen])
@@ -114,6 +115,7 @@ type unrollBwdFilterJob struct {
 	partials       []float32
 }
 
+//hot:noalloc
 func (j *unrollBwdFilterJob) Run(ci int) {
 	lo := ci * j.per
 	hi := lo + j.per

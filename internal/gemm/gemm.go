@@ -91,6 +91,8 @@ func blockedLegacy(alpha float32, a []float32, b []float32, beta float32, c []fl
 
 // blockedRows multiplies the row stripe [i0,i1) of A into C with the
 // legacy axpy-style inner loop.
+//
+//hot:noalloc
 func blockedRows(alpha float32, a, b, c []float32, i0, i1, m, n, k int) {
 	for p0 := 0; p0 < k; p0 += blockK {
 		p1 := min(p0+blockK, k)
@@ -216,6 +218,7 @@ func FLOPs(m, n, k int) float64 {
 	return 2 * float64(m) * float64(n) * float64(k)
 }
 
+//hot:noalloc
 func scaleRows(beta float32, c []float32, i0, i1, n int) {
 	if beta == 1 {
 		return

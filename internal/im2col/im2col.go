@@ -57,10 +57,13 @@ func (g Geom) Validate() error {
 // ColRows()×ColCols() elements. Row r of col corresponds to one
 // (channel, kernel-row, kernel-col) triple; column c corresponds to one
 // output position.
+//
+//hot:noalloc
 func Im2col(g Geom, img []float32, col []float32) {
 	oh, ow := g.OutH(), g.OutW()
 	cols := oh * ow
 	if len(img) < g.C*g.H*g.W || len(col) < g.ColRows()*cols {
+		//lint:ignore hotalloc the failed-precondition panic may format its message; the hot loop below stays clean
 		panic(fmt.Sprintf("im2col: buffers too small for %+v", g))
 	}
 	row := 0
@@ -98,10 +101,13 @@ func Im2col(g Geom, img []float32, col []float32) {
 
 // Col2im scatters col (ColRows()×ColCols()) back into img (C×H×W),
 // accumulating overlapping contributions. img is zeroed first.
+//
+//hot:noalloc
 func Col2im(g Geom, col []float32, img []float32) {
 	oh, ow := g.OutH(), g.OutW()
 	cols := oh * ow
 	if len(img) < g.C*g.H*g.W || len(col) < g.ColRows()*cols {
+		//lint:ignore hotalloc the failed-precondition panic may format its message; the hot loop below stays clean
 		panic(fmt.Sprintf("im2col: buffers too small for %+v", g))
 	}
 	for i := range img[:g.C*g.H*g.W] {

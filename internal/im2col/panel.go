@@ -64,6 +64,8 @@ func (p *PanelPacker) ResetTransposed(g Geom, img []float32) {
 // p-major panel with row stride ldp: dst[p*ldp+c] = op(B)[p0+p][j0+c].
 // Out-of-image taps (padding) are written as zeros; only the nv valid
 // columns of each row are touched. This is the gemm.BPacker contract.
+//
+//hot:noalloc
 func (p *PanelPacker) PackPanelB(dst []float32, ldp, p0, kc, j0, nv int) {
 	if p.trans {
 		p.packTransposed(dst, ldp, p0, kc, j0, nv)
@@ -77,6 +79,8 @@ func (p *PanelPacker) PackPanelB(dst []float32, ldp, p0, kc, j0, nv int) {
 // position advances incrementally — one add and a wrap test per element
 // instead of a div/mod — and the input row index only recomputes on an
 // output-row wrap.
+//
+//hot:noalloc
 func (p *PanelPacker) packForward(dst []float32, ldp, p0, kc, j0, nv int) {
 	g := p.g
 	for pi := 0; pi < kc; pi++ {
@@ -113,6 +117,8 @@ func (p *PanelPacker) packForward(dst []float32, ldp, p0, kc, j0, nv int) {
 // lowered-matrix rows. Each (c, kh, kw) tap is decomposed once and its
 // column of the panel filled with an ldp-strided walk over the kc
 // output positions.
+//
+//hot:noalloc
 func (p *PanelPacker) packTransposed(dst []float32, ldp, p0, kc, j0, nv int) {
 	g := p.g
 	for c := 0; c < nv; c++ {

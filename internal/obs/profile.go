@@ -165,9 +165,11 @@ func (p *Profiler) CaptureOnce() ([]Capture, error) {
 		cpuProfileMu.Unlock()
 		return nil, fmt.Errorf("obs: start cpu profile: %w", err)
 	}
+	//lint:ignore lockheld cpuProfileMu exists to serialise exactly this capture window
 	time.Sleep(p.cfg.CPUDuration / 2)
 	var gorBuf bytes.Buffer
 	_ = pprof.Lookup("goroutine").WriteTo(&gorBuf, 1)
+	//lint:ignore lockheld second half of the capture window the mutex serialises
 	time.Sleep(p.cfg.CPUDuration / 2)
 	pprof.StopCPUProfile()
 	cpuProfileMu.Unlock()

@@ -89,7 +89,7 @@ func (f funcRunner) Run(i int) { f(i) }
 type task struct {
 	r    Runner
 	n    int64
-	next int64
+	next atomic.Int64
 	wg   sync.WaitGroup
 }
 
@@ -124,7 +124,7 @@ func startWorkers() {
 // progress even when every pool worker is busy — no nesting deadlock).
 func (t *task) run() {
 	for {
-		i := atomic.AddInt64(&t.next, 1)
+		i := t.next.Add(1)
 		if i >= t.n {
 			break
 		}
@@ -173,7 +173,8 @@ func forEach(n, workers int, r Runner) {
 	}
 	poolOnce.Do(startWorkers)
 	t := taskPool.Get().(*task)
-	t.r, t.n, t.next = r, int64(n), -1
+	t.r, t.n = r, int64(n)
+	t.next.Store(-1)
 	helpers := workers - 1
 	t.wg.Add(helpers + 1)
 	sent := 0

@@ -158,8 +158,12 @@ func (a *Autoscaler) Tick() *ScaleEvent {
 		total += d
 	}
 
+	// Decide under the lock, but never hold it across the scale
+	// operations: scaleIn drains the victim replica (WaitGroup.Wait
+	// behind Server.Close), and holding a.mu through that drain would
+	// stall Events, the dashboard section and stop() for its whole
+	// duration — the lockheld analyzer's canonical finding.
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	a.lastSubmitted = map[int]int64{}
 	for id, st := range stats.PerReplica {
 		a.lastSubmitted[id] = st.Submitted
@@ -183,27 +187,38 @@ func (a *Autoscaler) Tick() *ScaleEvent {
 
 	if a.cooldown > 0 {
 		a.cooldown--
+		a.mu.Unlock()
 		return nil
 	}
 
+	var doOut, doIn bool
+	var victim int
 	switch {
 	case a.hot >= a.cfg.ScaleOutAfter && size < a.cfg.Max:
+		doOut = true
+	case a.cold >= a.cfg.ScaleInAfter && size > a.cfg.Min:
+		victim, doIn = coldestReplica(deltas)
+	}
+	a.mu.Unlock()
+
+	switch {
+	case doOut:
 		to, err := a.f.scaleOut()
 		if err != nil {
 			return nil
 		}
+		a.mu.Lock()
+		defer a.mu.Unlock()
 		a.hot = 0
 		a.cooldown = a.cfg.Cooldown
 		return a.record(size, to, fmt.Sprintf("slo burn %s", worst))
-	case a.cold >= a.cfg.ScaleInAfter && size > a.cfg.Min:
-		victim, ok := coldestReplica(deltas)
-		if !ok {
-			return nil
-		}
+	case doIn:
 		to := a.f.scaleIn(victim)
 		if to == size {
 			return nil
 		}
+		a.mu.Lock()
+		defer a.mu.Unlock()
 		a.cold = 0
 		a.cooldown = a.cfg.Cooldown
 		return a.record(size, to, fmt.Sprintf("idle replica %d", victim))
